@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the cryptographic substrate: the real cost
+//! of the primitives the simulation's *cost models* stand in for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bolted_crypto::aead::Aead;
+use bolted_crypto::chacha20::{chacha20_encrypt, Key};
+use bolted_crypto::hmac::hmac_sha256;
+use bolted_crypto::luks::{BlockDevice, LuksDevice, RamDisk, SECTOR_SIZE};
+use bolted_crypto::prime::XorShiftSource;
+use bolted_crypto::rsa::keypair_from_seed;
+use bolted_crypto::sha256::sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 64 * 1024, 1024 * 1024] {
+        let data = vec![0xAB; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chacha20");
+    let key = Key([7u8; 32]);
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let data = vec![0x5A; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| chacha20_encrypt(black_box(&key), &[1u8; 12], 0, black_box(data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0u8; 64 * 1024];
+    let mut g = c.benchmark_group("hmac");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("hmac_sha256_64k", |b| {
+        b.iter(|| hmac_sha256(b"key", black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let aead = Aead::new(&Key([3u8; 32]));
+    let data = vec![0u8; 16 * 1024];
+    let sealed = aead.seal(&[0u8; 12], b"", &data);
+    let mut g = c.benchmark_group("aead");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("seal_16k", |b| {
+        b.iter(|| aead.seal(&[0u8; 12], b"", black_box(&data)))
+    });
+    g.bench_function("open_16k", |b| {
+        b.iter(|| {
+            aead.open(&[0u8; 12], b"", black_box(&sealed))
+                .expect("opens")
+        })
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rsa");
+    g.sample_size(10);
+    for bits in [512usize, 1024] {
+        let kp = keypair_from_seed(bits, 42);
+        let sig = kp.private.sign(b"quote");
+        g.bench_function(BenchmarkId::new("sign", bits), |b| {
+            b.iter(|| kp.private.sign(black_box(b"quote")))
+        });
+        g.bench_function(BenchmarkId::new("verify", bits), |b| {
+            b.iter(|| kp.public.verify(black_box(b"quote"), &sig))
+        });
+    }
+    g.bench_function("keygen_512", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            keypair_from_seed(512, seed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_luks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("luks");
+    g.throughput(Throughput::Bytes(SECTOR_SIZE as u64));
+    let disk = RamDisk::new(1024);
+    let mut rng = XorShiftSource::new(1);
+    let mut luks = LuksDevice::format(disk, b"pw", &mut rng).expect("formats");
+    let data = [0x42u8; SECTOR_SIZE];
+    g.bench_function("write_sector", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            luks.write_sector(i, black_box(&data)).expect("writes")
+        })
+    });
+    g.bench_function("read_sector", |b| {
+        let mut buf = [0u8; SECTOR_SIZE];
+        b.iter(|| luks.read_sector(5, black_box(&mut buf)).expect("reads"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_chacha20,
+    bench_hmac,
+    bench_aead,
+    bench_rsa,
+    bench_luks
+);
+criterion_main!(benches);

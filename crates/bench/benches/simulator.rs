@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the simulation engine itself: how much wall
+//! time the virtual-time executor, resources, and full end-to-end
+//! provisioning runs cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bolted_core::{Cloud, CloudConfig, SecurityProfile, Tenant};
+use bolted_firmware::KernelImage;
+use bolted_sim::{Resource, Sim, SimDuration};
+
+fn bench_executor(c: &mut Criterion) {
+    c.bench_function("sim/spawn_sleep_10k_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            for i in 0..10_000u64 {
+                let sim2 = sim.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_nanos(i % 977 + 1)).await;
+                });
+            }
+            assert_eq!(sim.run(), 0);
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_resource_contention(c: &mut Criterion) {
+    c.bench_function("sim/fifo_resource_1k_waiters", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let res = Resource::new(&sim, 4);
+            for _ in 0..1000 {
+                let r = res.clone();
+                sim.spawn(async move {
+                    r.visit(SimDuration::from_micros(10)).await;
+                });
+            }
+            assert_eq!(sim.run(), 0);
+            black_box(sim.now())
+        })
+    });
+}
+
+fn bench_end_to_end_provision(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.bench_function("provision_one_charlie_node", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let cloud = Cloud::build(
+                &sim,
+                CloudConfig {
+                    nodes: 1,
+                    ..CloudConfig::default()
+                },
+            );
+            let kernel = KernelImage::from_bytes("k", b"vmlinuz");
+            let golden = cloud
+                .bmi
+                .create_golden("fedora", 8 << 30, 7, &kernel, "")
+                .expect("golden");
+            let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+            let node = cloud.nodes()[0];
+            let p = sim
+                .block_on(async move {
+                    tenant
+                        .provision(node, &SecurityProfile::charlie(), golden)
+                        .await
+                })
+                .expect("provisions");
+            black_box(p.report.total())
+        })
+    });
+    g.bench_function("provision_16_nodes_attested", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let cloud = Cloud::build(&sim, CloudConfig::default());
+            let kernel = KernelImage::from_bytes("k", b"vmlinuz");
+            let golden = cloud
+                .bmi
+                .create_golden("fedora", 8 << 30, 7, &kernel, "")
+                .expect("golden");
+            let tenant = Tenant::new(&cloud, "bob").expect("tenant");
+            let handles: Vec<_> = cloud
+                .nodes()
+                .into_iter()
+                .map(|node| {
+                    let tenant = tenant.clone();
+                    sim.spawn(async move {
+                        tenant
+                            .provision(node, &SecurityProfile::bob(), golden)
+                            .await
+                            .expect("provisions")
+                            .report
+                            .total()
+                    })
+                })
+                .collect();
+            sim.run();
+            black_box(handles.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor,
+    bench_resource_contention,
+    bench_end_to_end_provision
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the TPM and attestation hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bolted_crypto::prime::XorShiftSource;
+use bolted_crypto::sha256::sha256;
+use bolted_tpm::{make_credential, Tpm};
+
+fn bench_pcr_extend(c: &mut Criterion) {
+    let mut tpm = Tpm::new(1, 512);
+    let d = sha256(b"measurement");
+    c.bench_function("tpm/extend_measured", |b| {
+        b.iter(|| tpm.extend_measured(4, black_box(d), "bench"))
+    });
+}
+
+fn bench_quote(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpm");
+    g.sample_size(20);
+    let mut tpm = Tpm::new(1, 512);
+    let aik = tpm.create_aik();
+    tpm.extend_measured(0, sha256(b"fw"), "fw");
+    tpm.extend_measured(4, sha256(b"agent"), "agent");
+    g.bench_function("quote_sign", |b| {
+        b.iter(|| tpm.quote(black_box(&[0, 4, 5]), [7; 32]).expect("quotes"))
+    });
+    let quote = tpm.quote(&[0, 4, 5], [7; 32]).expect("quotes");
+    g.bench_function("quote_verify", |b| b.iter(|| quote.verify(black_box(&aik))));
+    g.finish();
+}
+
+fn bench_event_log_replay(c: &mut Criterion) {
+    let mut tpm = Tpm::new(1, 512);
+    for i in 0..256 {
+        tpm.extend_measured(10, sha256(format!("file-{i}").as_bytes()), "ima");
+    }
+    let log = tpm.event_log().clone();
+    c.bench_function("tpm/event_log_replay_256", |b| {
+        b.iter(|| black_box(&log).replay_composite(&[10]))
+    });
+}
+
+fn bench_credential_activation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpm");
+    g.sample_size(20);
+    let mut tpm = Tpm::new(1, 512);
+    let aik = tpm.create_aik();
+    let mut rng = XorShiftSource::new(9);
+    g.bench_function("make_credential", |b| {
+        b.iter(|| make_credential(tpm.ek_pub(), &aik.fingerprint(), b"secret", &mut rng))
+    });
+    let blob = make_credential(tpm.ek_pub(), &aik.fingerprint(), b"secret", &mut rng);
+    g.bench_function("activate_credential", |b| {
+        b.iter(|| {
+            tpm.activate_credential(black_box(&blob))
+                .expect("activates")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pcr_extend,
+    bench_quote,
+    bench_event_log_replay,
+    bench_credential_activation
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! §7.4: continuous-attestation detection and revocation latency.
+//!
+//! The paper: a script not on the whitelist runs on one server; Keylime
+//! detects the policy violation "in under one second" of quote checking
+//! and the full cryptographic ban of the node takes "approximately 3
+//! seconds".
+
+use bolted_bench::{banner, f, print_table};
+use bolted_core::{revocation_experiment, Cloud, CloudConfig, Enclave, SecurityProfile, Tenant};
+use bolted_firmware::KernelImage;
+use bolted_keylime::ImaWhitelist;
+use bolted_sim::{Sim, SimDuration};
+
+fn run_once(nodes: usize, misbehave_secs: u64) -> (f64, f64) {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .expect("golden");
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    tenant.set_ima_whitelist(ImaWhitelist::new());
+    let report = sim.block_on({
+        let (cloud, tenant) = (cloud.clone(), tenant.clone());
+        async move {
+            let mut members = Vec::new();
+            for node in cloud.nodes() {
+                members.push(
+                    tenant
+                        .provision(node, &SecurityProfile::charlie(), golden)
+                        .await
+                        .expect("provisions"),
+                );
+            }
+            let enclave = Enclave::form(&cloud, members);
+            revocation_experiment(
+                &cloud,
+                &tenant,
+                &enclave,
+                0,
+                SimDuration::from_secs(misbehave_secs),
+            )
+            .await
+        }
+    });
+    (
+        report.detection_latency().as_secs_f64(),
+        report.total_latency().as_secs_f64(),
+    )
+}
+
+fn main() {
+    banner(
+        "Continuous attestation: violation → detection → cryptographic ban",
+        "§7.4 (paper: detection < 1 s of verification; full revocation ≈ 3 s)",
+    );
+    let mut rows = Vec::new();
+    for (nodes, at) in [(4usize, 11u64), (8, 13), (16, 17), (16, 20), (16, 23)] {
+        let (detect, total) = run_once(nodes, at);
+        rows.push(vec![
+            nodes.to_string(),
+            format!("t+{at}s"),
+            f(detect, 2),
+            f(total, 2),
+        ]);
+    }
+    print_table(
+        &[
+            "enclave size",
+            "violation at",
+            "detection (s)",
+            "full ban (s)",
+        ],
+        &rows,
+    );
+    println!("detection latency = poll-phase offset + quote (0.75 s) + verify;");
+    println!("ban adds one notification RTT + per-node SA teardown, in parallel.");
+}

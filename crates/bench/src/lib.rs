@@ -1,0 +1,44 @@
+//! `bolted-bench` — harnesses that regenerate every table and figure of
+//! the paper's evaluation (§7). Each `fig*`/`tab*` binary prints the
+//! series the corresponding figure plots; `cargo bench` additionally
+//! measures the real performance of the implementation itself.
+
+#![forbid(unsafe_code)]
+
+/// Prints a figure banner with the paper reference.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("==============================================================");
+}
+
+/// Prints an aligned table: headers + rows of strings.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+    println!();
+}
+
+/// Formats a float with fixed precision.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}

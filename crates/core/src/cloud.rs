@@ -1,0 +1,281 @@
+//! Builds a complete simulated datacenter: machines with TPMs and
+//! firmware, switches, HIL, the Ceph cluster, the iSCSI gateway, and BMI.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bolted_bmi::Bmi;
+use bolted_crypto::sha256::{sha256, Digest};
+use bolted_firmware::{FirmwareImage, FirmwareKind, FirmwareSource, Machine};
+use bolted_hil::{BmcOps, Hil, NodeId};
+use bolted_net::{Fabric, LinkModel, SwitchId};
+use bolted_sim::{Resource, Sim, Tracer};
+use bolted_storage::{Cluster, Gateway, ImageStore};
+
+use crate::calib::Calibration;
+
+/// Canonical LinuxBoot source tree (what a tenant audits and rebuilds).
+pub fn linuxboot_source() -> FirmwareSource {
+    FirmwareSource::from_tree(
+        FirmwareKind::LinuxBoot,
+        "heads-0.2.0",
+        b"linuxboot/heads canonical source tree",
+    )
+}
+
+/// Canonical vendor UEFI build (closed source; the provider publishes
+/// its measurement through HIL).
+pub fn uefi_source() -> FirmwareSource {
+    FirmwareSource::from_tree(FirmwareKind::Uefi, "dell-2.7.1", b"vendor uefi blob")
+}
+
+/// Digest of the iPXE binary (modified to measure what it downloads, §5).
+pub fn ipxe_digest() -> Digest {
+    sha256(b"ipxe (tpm-measuring fork)")
+}
+
+/// Digest of the downloadable LinuxBoot runtime (Heads) payload.
+pub fn heads_runtime_digest() -> Digest {
+    sha256(b"heads runtime initramfs")
+}
+
+/// Configuration for building a cloud.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Number of servers.
+    pub nodes: usize,
+    /// What's in each server's SPI flash.
+    pub firmware: FirmwareKind,
+    /// TPM RSA key size (512 keeps simulations fast; the protocol is
+    /// identical at 2048).
+    pub tpm_key_bits: usize,
+    /// Server RAM (M620s: 64 GiB).
+    pub ram_gib: u64,
+    /// Number of concurrent airlocks. The paper's prototype supports
+    /// exactly one ("we only support a single airlock at a time;
+    /// attestation for provisioning is currently serialized", §7.3).
+    pub airlocks: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Timing calibration.
+    pub calib: Calibration,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            nodes: 16,
+            firmware: FirmwareKind::LinuxBoot,
+            tpm_key_bits: 512,
+            ram_gib: 64,
+            airlocks: 1,
+            seed: 42,
+            calib: Calibration::default(),
+        }
+    }
+}
+
+/// Adapter exposing a [`Machine`] as HIL's BMC.
+struct MachineBmc(Machine);
+
+impl BmcOps for MachineBmc {
+    fn power_on(&self) {
+        self.0.power_on();
+    }
+    fn power_off(&self) {
+        self.0.power_off();
+    }
+    fn power_cycle(&self) {
+        self.0.power_cycle();
+    }
+}
+
+/// A fully wired simulated datacenter.
+#[derive(Clone)]
+pub struct Cloud {
+    /// The simulation everything runs on.
+    pub sim: Sim,
+    /// Timing calibration in effect.
+    pub calib: Calibration,
+    /// The network fabric.
+    pub fabric: Fabric,
+    /// The top-of-rack switch.
+    pub switch: SwitchId,
+    /// The provider's isolation service.
+    pub hil: Hil,
+    /// The storage cluster.
+    pub cluster: Cluster,
+    /// The image store.
+    pub store: ImageStore,
+    /// The iSCSI gateway (TGT VM).
+    pub gateway: Gateway,
+    /// The provisioning service.
+    pub bmi: Bmi,
+    /// Airlock capacity (serialises attested provisioning).
+    pub airlock: Resource,
+    /// The provider's single HTTP server for boot artifacts (iPXE,
+    /// Heads, agent, kernels) — a shared, serialising resource.
+    pub http: Resource,
+    /// Event trace.
+    pub tracer: Tracer,
+    machines: Rc<Vec<Machine>>,
+    nodes: Rc<Vec<NodeId>>,
+    rejected: Rc<RefCell<Vec<NodeId>>>,
+}
+
+impl Cloud {
+    /// Builds a datacenter per `config`.
+    pub fn build(sim: &Sim, config: CloudConfig) -> Cloud {
+        let fabric = Fabric::new(sim);
+        let switch = fabric.add_switch("tor-1", config.nodes.max(8) * 2);
+        let hil = Hil::new(&fabric);
+        let cluster = Cluster::paper_default(sim);
+        let store = ImageStore::new(&cluster);
+        let gateway = Gateway::new(sim);
+        let bmi = Bmi::new(sim, &store, &gateway);
+        let tracer = Tracer::new();
+        let flash = match config.firmware {
+            FirmwareKind::LinuxBoot => linuxboot_source().build(),
+            FirmwareKind::Uefi => uefi_source().build(),
+        };
+        let mut machines = Vec::with_capacity(config.nodes);
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let name = format!("m620-{:02}", i + 1);
+            let machine = Machine::new(
+                &name,
+                flash.clone(),
+                config.seed.wrapping_mul(1000).wrapping_add(i as u64),
+                config.tpm_key_bits,
+                config.ram_gib,
+            );
+            let host = fabric.add_host(&name, LinkModel::ten_gbe_jumbo());
+            fabric.attach(host, switch, i).expect("port per node");
+            let node = hil.register_node(
+                &name,
+                host,
+                switch,
+                i,
+                Some(Rc::new(MachineBmc(machine.clone()))),
+            );
+            // Provider publishes TPM identity + platform whitelist.
+            hil.set_node_ek(node, machine.with_tpm(|t| t.ek_pub().clone()))
+                .expect("node exists");
+            hil.set_platform_whitelist(node, vec![uefi_source().build().build_id])
+                .expect("node exists");
+            machines.push(machine);
+            nodes.push(node);
+        }
+        Cloud {
+            sim: sim.clone(),
+            calib: config.calib,
+            fabric,
+            switch,
+            hil,
+            cluster,
+            store,
+            gateway,
+            bmi,
+            airlock: Resource::new(sim, config.airlocks.max(1)),
+            http: Resource::new(sim, 1),
+            tracer,
+            machines: Rc::new(machines),
+            nodes: Rc::new(nodes),
+            rejected: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The machine behind a HIL node id.
+    pub fn machine(&self, node: NodeId) -> Machine {
+        self.machines[node.0].clone()
+    }
+
+    /// All node ids, in registration order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.nodes.as_ref().clone()
+    }
+
+    /// The known-good firmware image for a kind (the tenant's own
+    /// reproducible build, or the provider-published UEFI measurement).
+    pub fn good_firmware(&self, kind: FirmwareKind) -> FirmwareImage {
+        match kind {
+            FirmwareKind::LinuxBoot => linuxboot_source().build(),
+            FirmwareKind::Uefi => uefi_source().build(),
+        }
+    }
+
+    /// Marks a node as quarantined in the rejected pool.
+    pub fn quarantine(&self, node: NodeId) {
+        self.rejected.borrow_mut().push(node);
+    }
+
+    /// Nodes currently in the rejected pool.
+    pub fn rejected_pool(&self) -> Vec<NodeId> {
+        self.rejected.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_registers_everything() {
+        let sim = Sim::new();
+        let cloud = Cloud::build(&sim, CloudConfig::default());
+        assert_eq!(cloud.nodes().len(), 16);
+        assert_eq!(cloud.hil.free_nodes().len(), 16);
+        // EKs published and distinct.
+        let md0 = cloud.hil.node_metadata(cloud.nodes()[0]).expect("md");
+        let md1 = cloud.hil.node_metadata(cloud.nodes()[1]).expect("md");
+        assert_ne!(
+            md0.ek_pub.expect("ek").fingerprint(),
+            md1.ek_pub.expect("ek").fingerprint()
+        );
+    }
+
+    #[test]
+    fn bmc_power_cycles_machine() {
+        let sim = Sim::new();
+        let cloud = Cloud::build(
+            &sim,
+            CloudConfig {
+                nodes: 2,
+                ..CloudConfig::default()
+            },
+        );
+        let n = cloud.nodes()[0];
+        cloud.hil.allocate_node("t", n).expect("allocates");
+        let m = cloud.machine(n);
+        assert_eq!(m.power(), bolted_firmware::PowerState::Off);
+        cloud.hil.power_cycle("t", n).expect("cycles");
+        assert_eq!(m.power(), bolted_firmware::PowerState::On);
+    }
+
+    #[test]
+    fn canonical_builds_are_stable() {
+        assert_eq!(
+            linuxboot_source().build().build_id,
+            linuxboot_source().build().build_id
+        );
+        assert_ne!(
+            linuxboot_source().build().build_id,
+            uefi_source().build().build_id
+        );
+    }
+
+    #[test]
+    fn rejected_pool_tracks_quarantine() {
+        let sim = Sim::new();
+        let cloud = Cloud::build(
+            &sim,
+            CloudConfig {
+                nodes: 2,
+                ..CloudConfig::default()
+            },
+        );
+        assert!(cloud.rejected_pool().is_empty());
+        cloud.quarantine(cloud.nodes()[1]);
+        assert_eq!(cloud.rejected_pool(), vec![cloud.nodes()[1]]);
+    }
+}

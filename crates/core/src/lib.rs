@@ -1,0 +1,31 @@
+//! `bolted-core` — the Bolted architecture itself.
+//!
+//! Ties the substrates together exactly as the paper's user-controlled
+//! scripts do: HIL for isolation, LinuxBoot machines for measured boot,
+//! Keylime for attestation and key bootstrap, BMI for diskless
+//! provisioning — orchestrated through the Figure 1 life cycle
+//! (Free → Airlock → Allocated/Rejected), with Alice/Bob/Charlie
+//! security profiles, per-phase provisioning reports (Figure 4), the
+//! Foreman stateful baseline, and the enclave runtime with continuous
+//! attestation and revocation (§7.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod cloud;
+pub mod enclave;
+pub mod foreman;
+pub mod lifecycle;
+pub mod profile;
+pub mod provision;
+
+pub use calib::Calibration;
+pub use cloud::{
+    heads_runtime_digest, ipxe_digest, linuxboot_source, uefi_source, Cloud, CloudConfig,
+};
+pub use enclave::{revocation_experiment, Enclave, RevocationReport};
+pub use foreman::{foreman_provision, foreman_release_with_scrub};
+pub use lifecycle::{InvalidTransition, Lifecycle, NodeState};
+pub use profile::{AttestationMode, SecurityProfile};
+pub use provision::{ProvisionError, ProvisionReport, ProvisionedNode, Tenant};

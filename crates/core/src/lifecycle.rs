@@ -1,0 +1,158 @@
+//! The Figure 1 node life cycle: Free → Airlock → {Allocated, Rejected}.
+
+use bolted_sim::{Sim, SimTime};
+
+/// Node allocation states (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// In the provider's free pool.
+    Free,
+    /// Isolated for integrity verification.
+    Airlock,
+    /// Attested (or trusted without attestation) and in a tenant enclave.
+    Allocated,
+    /// Failed attestation; quarantined from the rest of the cloud.
+    Rejected,
+}
+
+/// An invalid transition attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the node was in.
+    pub from: NodeState,
+    /// State that was requested.
+    pub to: NodeState,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid transition {:?} -> {:?}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// Tracks one node's progress through the life cycle, with timestamps.
+#[derive(Debug, Clone)]
+pub struct Lifecycle {
+    state: NodeState,
+    history: Vec<(SimTime, NodeState)>,
+}
+
+impl Lifecycle {
+    /// Starts in the free pool at the current time.
+    pub fn new(sim: &Sim) -> Self {
+        Lifecycle {
+            state: NodeState::Free,
+            history: vec![(sim.now(), NodeState::Free)],
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Full `(time, state)` history.
+    pub fn history(&self) -> &[(SimTime, NodeState)] {
+        &self.history
+    }
+
+    /// True if `from → to` is an edge of Figure 1.
+    pub fn is_valid(from: NodeState, to: NodeState) -> bool {
+        use NodeState::*;
+        matches!(
+            (from, to),
+            (Free, Airlock)
+                // Unattested tenants (Alice) skip the airlock entirely.
+                | (Free, Allocated)
+                | (Airlock, Allocated)
+                | (Airlock, Rejected)
+                | (Allocated, Free)
+                // Rejected nodes return to Free only after remediation
+                // (re-flash + re-attest by the provider).
+                | (Rejected, Free)
+        )
+    }
+
+    /// Performs a transition, recording the time.
+    pub fn transition(&mut self, sim: &Sim, to: NodeState) -> Result<(), InvalidTransition> {
+        if !Self::is_valid(self.state, to) {
+            return Err(InvalidTransition {
+                from: self.state,
+                to,
+            });
+        }
+        self.state = to;
+        self.history.push((sim.now(), to));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolted_sim::SimDuration;
+
+    #[test]
+    fn happy_path_free_airlock_allocated_free() {
+        let sim = Sim::new();
+        let mut lc = Lifecycle::new(&sim);
+        lc.transition(&sim, NodeState::Airlock).expect("to airlock");
+        lc.transition(&sim, NodeState::Allocated)
+            .expect("to allocated");
+        lc.transition(&sim, NodeState::Free).expect("released");
+        assert_eq!(lc.state(), NodeState::Free);
+        assert_eq!(lc.history().len(), 4);
+    }
+
+    #[test]
+    fn rejection_path() {
+        let sim = Sim::new();
+        let mut lc = Lifecycle::new(&sim);
+        lc.transition(&sim, NodeState::Airlock).expect("to airlock");
+        lc.transition(&sim, NodeState::Rejected).expect("rejected");
+        // A rejected node cannot go straight to a tenant.
+        assert!(lc.transition(&sim, NodeState::Allocated).is_err());
+        lc.transition(&sim, NodeState::Free).expect("remediated");
+    }
+
+    #[test]
+    fn unattested_shortcut_allowed() {
+        let sim = Sim::new();
+        let mut lc = Lifecycle::new(&sim);
+        lc.transition(&sim, NodeState::Allocated)
+            .expect("Alice skips the airlock");
+    }
+
+    #[test]
+    fn illegal_edges_rejected() {
+        let sim = Sim::new();
+        let mut lc = Lifecycle::new(&sim);
+        let err = lc.transition(&sim, NodeState::Rejected).unwrap_err();
+        assert_eq!(err.from, NodeState::Free);
+        assert_eq!(err.to, NodeState::Rejected);
+        // Free → Free is not an edge either.
+        assert!(lc.transition(&sim, NodeState::Free).is_err());
+    }
+
+    #[test]
+    fn history_records_timestamps() {
+        let sim = Sim::new();
+        let lc = sim.block_on({
+            let sim2 = sim.clone();
+            async move {
+                let mut lc = Lifecycle::new(&sim2);
+                sim2.sleep(SimDuration::from_secs(40)).await;
+                lc.transition(&sim2, NodeState::Airlock).expect("airlock");
+                sim2.sleep(SimDuration::from_secs(100)).await;
+                lc.transition(&sim2, NodeState::Allocated)
+                    .expect("allocated");
+                lc
+            }
+        });
+        let h = lc.history();
+        assert_eq!(h[1].0.as_secs_f64(), 40.0);
+        assert_eq!(h[2].0.as_secs_f64(), 140.0);
+    }
+}

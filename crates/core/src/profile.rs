@@ -1,0 +1,156 @@
+//! Tenant security profiles — the paper's Alice / Bob / Charlie spectrum
+//! (§4.3): each profile picks a point on the security/price/performance
+//! trade-off, and Bolted's whole argument is that the *tenant* chooses.
+
+use bolted_crypto::cost::CipherSuite;
+use bolted_firmware::FirmwareKind;
+use bolted_storage::{Transport, DEFAULT_READ_AHEAD, TUNED_READ_AHEAD};
+
+/// Who runs (and is trusted for) attestation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationMode {
+    /// No attestation at all (Alice: "scripts that do not even bother
+    /// using the provider's attestation service").
+    None,
+    /// Provider-deployed attestation (Bob: trusts the provider, not
+    /// other tenants).
+    Provider,
+    /// Tenant-deployed attestation with key bootstrap (Charlie).
+    Tenant,
+}
+
+/// A tenant's security configuration.
+#[derive(Debug, Clone)]
+pub struct SecurityProfile {
+    /// Display name.
+    pub name: String,
+    /// Firmware expected on the node's flash. With vendor UEFI, the
+    /// LinuxBoot runtime is downloaded via iPXE instead.
+    pub firmware: FirmwareKind,
+    /// Attestation mode.
+    pub attestation: AttestationMode,
+    /// LUKS on the remote root volume.
+    pub disk_encryption: bool,
+    /// IPsec on enclave + storage traffic.
+    pub net_encryption: bool,
+    /// Cipher implementation for IPsec.
+    pub cipher: CipherSuite,
+    /// iSCSI read-ahead (the paper tunes this to 8 MiB).
+    pub read_ahead: u64,
+    /// Continuous attestation (IMA) after boot.
+    pub continuous_attestation: bool,
+}
+
+impl SecurityProfile {
+    /// Alice: maximise performance, minimise cost, no security extras.
+    pub fn alice() -> Self {
+        SecurityProfile {
+            name: "alice-unattested".into(),
+            firmware: FirmwareKind::LinuxBoot,
+            attestation: AttestationMode::None,
+            disk_encryption: false,
+            net_encryption: false,
+            cipher: CipherSuite::None,
+            read_ahead: TUNED_READ_AHEAD,
+            continuous_attestation: false,
+        }
+    }
+
+    /// Bob: trusts the provider, not past tenants — provider attestation,
+    /// no encryption.
+    pub fn bob() -> Self {
+        SecurityProfile {
+            name: "bob-attested".into(),
+            firmware: FirmwareKind::LinuxBoot,
+            attestation: AttestationMode::Provider,
+            disk_encryption: false,
+            net_encryption: false,
+            cipher: CipherSuite::None,
+            read_ahead: TUNED_READ_AHEAD,
+            continuous_attestation: false,
+        }
+    }
+
+    /// Charlie: trusts nobody — tenant attestation, LUKS, IPsec,
+    /// continuous attestation.
+    pub fn charlie() -> Self {
+        SecurityProfile {
+            name: "charlie-full".into(),
+            firmware: FirmwareKind::LinuxBoot,
+            attestation: AttestationMode::Tenant,
+            disk_encryption: true,
+            net_encryption: true,
+            cipher: CipherSuite::AesNi,
+            read_ahead: TUNED_READ_AHEAD,
+            continuous_attestation: true,
+        }
+    }
+
+    /// Returns this profile pinned to vendor-UEFI servers (Figure 4's
+    /// UEFI columns: Heads must be chain-loaded via iPXE).
+    pub fn on_uefi(mut self) -> Self {
+        self.firmware = FirmwareKind::Uefi;
+        self.name = format!("{}-uefi", self.name);
+        self
+    }
+
+    /// Returns this profile with the untuned 128 KiB read-ahead
+    /// (ablation of the paper's storage tuning).
+    pub fn untuned_read_ahead(mut self) -> Self {
+        self.read_ahead = DEFAULT_READ_AHEAD;
+        self.name = format!("{}-ra128k", self.name);
+        self
+    }
+
+    /// Whether any attestation happens at boot.
+    pub fn attested(&self) -> bool {
+        !matches!(self.attestation, AttestationMode::None)
+    }
+
+    /// The iSCSI transport this profile implies.
+    pub fn storage_transport(&self) -> Transport {
+        if self.net_encryption {
+            Transport::ipsec_10g(self.cipher.default_cost())
+        } else {
+            Transport::plain_10g()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_roles() {
+        let a = SecurityProfile::alice();
+        assert!(!a.attested() && !a.disk_encryption && !a.net_encryption);
+        let b = SecurityProfile::bob();
+        assert_eq!(b.attestation, AttestationMode::Provider);
+        assert!(!b.net_encryption);
+        let c = SecurityProfile::charlie();
+        assert_eq!(c.attestation, AttestationMode::Tenant);
+        assert!(c.disk_encryption && c.net_encryption && c.continuous_attestation);
+    }
+
+    #[test]
+    fn uefi_variant_switches_firmware() {
+        let c = SecurityProfile::charlie().on_uefi();
+        assert_eq!(c.firmware, FirmwareKind::Uefi);
+        assert!(c.name.contains("uefi"));
+    }
+
+    #[test]
+    fn transport_follows_encryption_choice() {
+        let plain = SecurityProfile::bob().storage_transport();
+        assert_eq!(plain.pipeline_depth, 4);
+        let enc = SecurityProfile::charlie().storage_transport();
+        assert_eq!(enc.pipeline_depth, 1, "IPsec path loses pipelining");
+    }
+
+    #[test]
+    fn read_ahead_ablation() {
+        let p = SecurityProfile::alice().untuned_read_ahead();
+        assert_eq!(p.read_ahead, DEFAULT_READ_AHEAD);
+    }
+}

@@ -1,0 +1,923 @@
+//! The tenant orchestration "scripts": Figure 1's six-step life cycle,
+//! end to end, with per-phase timing (Figure 4's breakdown).
+//!
+//! The different Bolted components never talk to each other directly —
+//! exactly as in the paper, everything is driven from here, and a tenant
+//! can swap any piece out.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use bolted_bmi::BmiError;
+use bolted_crypto::chacha20::Key;
+use bolted_crypto::sha256::Digest;
+use bolted_firmware::{FirmwareKind, Machine, MachineError};
+use bolted_hil::{HilError, NetworkId, NodeId};
+use bolted_keylime::{
+    agent_binary_digest, split_key, Agent, AttestOutcome, ImaWhitelist, Registrar, TenantPayload,
+    Verifier, VerifierConfig,
+};
+use bolted_sim::{Rng, SimDuration, SimTime};
+use bolted_storage::IscsiTarget;
+
+use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
+use crate::lifecycle::{Lifecycle, NodeState};
+use crate::profile::{AttestationMode, SecurityProfile};
+
+/// Errors from provisioning.
+#[derive(Debug)]
+pub enum ProvisionError {
+    /// Isolation-service failure.
+    Hil(HilError),
+    /// Provisioning-service failure.
+    Bmi(BmiError),
+    /// Machine-level failure.
+    Machine(MachineError),
+    /// The node failed attestation and was quarantined.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvisionError::Hil(e) => write!(f, "HIL: {e}"),
+            ProvisionError::Bmi(e) => write!(f, "BMI: {e}"),
+            ProvisionError::Machine(e) => write!(f, "machine: {e}"),
+            ProvisionError::Rejected(r) => write!(f, "attestation rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}
+
+impl From<HilError> for ProvisionError {
+    fn from(e: HilError) -> Self {
+        ProvisionError::Hil(e)
+    }
+}
+impl From<BmiError> for ProvisionError {
+    fn from(e: BmiError) -> Self {
+        ProvisionError::Bmi(e)
+    }
+}
+impl From<MachineError> for ProvisionError {
+    fn from(e: MachineError) -> Self {
+        ProvisionError::Machine(e)
+    }
+}
+
+/// Per-phase timing of one provisioning run (Figure 4's stacked bars).
+#[derive(Debug, Clone)]
+pub struct ProvisionReport {
+    /// Node name.
+    pub node: String,
+    /// Profile name.
+    pub profile: String,
+    /// `(phase, duration)` in execution order.
+    pub phases: Vec<(String, SimDuration)>,
+    /// Start time.
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+impl ProvisionReport {
+    /// Total wall-clock duration.
+    pub fn total(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+
+    /// Duration of a named phase, if present.
+    pub fn phase(&self, name: &str) -> Option<SimDuration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Renders the breakdown as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} [{}] total {}",
+            self.node,
+            self.profile,
+            self.total()
+        );
+        for (name, d) in &self.phases {
+            let _ = writeln!(out, "  {name:<22} {:>10.2}s", d.as_secs_f64());
+        }
+        out
+    }
+}
+
+/// Adapts the simulator's deterministic RNG to the crypto crate's
+/// [`bolted_crypto::RandomSource`] trait.
+pub struct SimRngSource<'a>(pub &'a mut Rng);
+
+impl bolted_crypto::RandomSource for SimRngSource<'_> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+struct PhaseTimer {
+    sim: bolted_sim::Sim,
+    last: SimTime,
+    phases: Vec<(String, SimDuration)>,
+}
+
+impl PhaseTimer {
+    fn new(sim: &bolted_sim::Sim) -> Self {
+        PhaseTimer {
+            sim: sim.clone(),
+            last: sim.now(),
+            phases: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, name: &str) {
+        let now = self.sim.now();
+        self.phases.push((name.to_string(), now.since(self.last)));
+        self.last = now;
+    }
+}
+
+/// A provisioned node handed back to the tenant.
+pub struct ProvisionedNode {
+    /// HIL node id.
+    pub node: NodeId,
+    /// The machine (for power ops, RAM-residue checks in tests).
+    pub machine: Machine,
+    /// The Keylime agent, when the profile attests.
+    pub agent: Option<Agent>,
+    /// The node's root-disk session.
+    pub target: IscsiTarget,
+    /// The node's root volume.
+    pub image: bolted_storage::ImageId,
+    /// Timing breakdown.
+    pub report: ProvisionReport,
+    /// Life-cycle trace.
+    pub lifecycle: Lifecycle,
+    /// Enclave IPsec PSK (empty when unencrypted).
+    pub psk: Vec<u8>,
+}
+
+/// A tenant session: project, enclave networks, attestation services.
+///
+/// For Charlie these services are tenant-deployed; for Bob the *same*
+/// code runs under the provider's roof — the paper's point is that the
+/// mechanism is identical and only trust placement differs.
+#[derive(Clone)]
+pub struct Tenant {
+    /// Project name (HIL ownership unit).
+    pub project: String,
+    cloud: Cloud,
+    registrar: Registrar,
+    /// The attestation verifier (exposed for continuous attestation).
+    pub verifier: Verifier,
+    enclave: NetworkId,
+    airlock_net: NetworkId,
+    ima_whitelist: Rc<RefCell<ImaWhitelist>>,
+    rng: Rc<RefCell<Rng>>,
+}
+
+impl Tenant {
+    /// Creates a tenant session with default verifier timings.
+    pub fn new(cloud: &Cloud, project: &str) -> Result<Tenant, ProvisionError> {
+        Self::with_verifier_config(cloud, project, VerifierConfig::default())
+    }
+
+    /// Creates a tenant session with explicit verifier configuration.
+    pub fn with_verifier_config(
+        cloud: &Cloud,
+        project: &str,
+        config: VerifierConfig,
+    ) -> Result<Tenant, ProvisionError> {
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&cloud.sim, &registrar, config);
+        let enclave = cloud
+            .hil
+            .create_network(project, format!("{project}-enclave"))?;
+        let airlock_net = cloud
+            .hil
+            .create_network(project, format!("{project}-airlock"))?;
+        Ok(Tenant {
+            project: project.to_string(),
+            cloud: cloud.clone(),
+            registrar,
+            verifier,
+            enclave,
+            airlock_net,
+            ima_whitelist: Rc::new(RefCell::new(ImaWhitelist::new())),
+            rng: Rc::new(RefCell::new(Rng::seed_from_u64(
+                0xB01Du64 ^ project.len() as u64,
+            ))),
+        })
+    }
+
+    /// The tenant's enclave network.
+    pub fn enclave_network(&self) -> NetworkId {
+        self.enclave
+    }
+
+    /// The simulation this tenant's cloud runs on.
+    pub fn sim(&self) -> bolted_sim::Sim {
+        self.cloud.sim.clone()
+    }
+
+    /// Sets the IMA whitelist used for nodes provisioned from now on.
+    pub fn set_ima_whitelist(&self, wl: ImaWhitelist) {
+        *self.ima_whitelist.borrow_mut() = wl;
+    }
+
+    /// The measurements this tenant accepts during boot attestation: its
+    /// own reproducible LinuxBoot build, the provider-published platform
+    /// (UEFI) whitelist from HIL, the measuring iPXE, the Heads runtime,
+    /// and the Keylime agent binary.
+    pub fn boot_whitelist(&self, node: NodeId) -> HashSet<Digest> {
+        let mut wl = HashSet::new();
+        wl.insert(self.cloud.good_firmware(FirmwareKind::LinuxBoot).build_id);
+        if let Ok(md) = self.cloud.hil.node_metadata(node) {
+            for d in md.platform_whitelist {
+                wl.insert(d);
+            }
+        }
+        wl.insert(ipxe_digest());
+        wl.insert(heads_runtime_digest());
+        wl.insert(agent_binary_digest());
+        wl
+    }
+
+    /// Verifies the node's published EK matches what the agent
+    /// registered with (anti-spoofing, §5: "ensuring that the tenant is
+    /// able to confirm that the server she received is indeed the one
+    /// she reserved").
+    pub fn verify_node_identity(&self, node: NodeId, agent_id: &str) -> bool {
+        let Ok(md) = self.cloud.hil.node_metadata(node) else {
+            return false;
+        };
+        let Some(published) = md.ek_pub else {
+            return false;
+        };
+        let Some(registered) = self.registrar.registered_ek(agent_id) else {
+            return false;
+        };
+        published.fingerprint() == registered.fingerprint()
+    }
+
+    /// Provisions `node` from the `golden` image under `profile`,
+    /// following Figure 1. Returns the node with its timing breakdown.
+    pub async fn provision(
+        &self,
+        node: NodeId,
+        profile: &SecurityProfile,
+        golden: bolted_storage::ImageId,
+    ) -> Result<ProvisionedNode, ProvisionError> {
+        let sim = &self.cloud.sim;
+        let calib = &self.cloud.calib;
+        let name = self.cloud.hil.node_name(node)?;
+        let machine = self.cloud.machine(node);
+        let mut lc = Lifecycle::new(sim);
+        let mut timer = PhaseTimer::new(sim);
+        let started = sim.now();
+        self.cloud.tracer.record(
+            sim,
+            "tenant",
+            format!("provision {name} [{}]", profile.name),
+        );
+
+        // Step 1: allocate, and for attested flows enter the airlock
+        // network. (The serialising airlock *slot* is taken later, for
+        // the attestation window only.)
+        self.cloud.hil.allocate_node(&self.project, node)?;
+        if profile.attested() {
+            lc.transition(sim, NodeState::Airlock)
+                .expect("free->airlock");
+            self.cloud
+                .hil
+                .connect_node(&self.project, node, self.airlock_net)?;
+        }
+
+        // Step 2: power-cycle into (measured) firmware.
+        self.cloud.hil.power_cycle(&self.project, node)?;
+        machine.run_firmware(sim).await?;
+        timer.mark("post");
+
+        // UEFI flash: chain-load the LinuxBoot runtime via measuring iPXE.
+        if machine.flash().kind == FirmwareKind::Uefi {
+            sim.sleep(calib.pxe_dhcp).await;
+            self.cloud.http.visit(calib.download(calib.ipxe_size)).await;
+            machine.measure_download("ipxe", ipxe_digest())?;
+            timer.mark("pxe-ipxe");
+            self.cloud
+                .http
+                .visit(calib.download(calib.heads_runtime_size))
+                .await;
+            machine.measure_download("heads-runtime", heads_runtime_digest())?;
+            timer.mark("download-heads");
+            sim.sleep(calib.heads_runtime_boot).await;
+            timer.mark("heads-boot");
+        }
+
+        // Clone the root volume and extract boot info (BMI).
+        let image = self.cloud.bmi.clone_for_server(golden, &name)?;
+        let (kernel, _cmdline) = self.cloud.bmi.extract_boot_info(image)?;
+
+        // Steps 3-5: attestation (or direct download for Alice).
+        let psk: Vec<u8>;
+        let agent = match profile.attestation {
+            AttestationMode::None => {
+                psk = Vec::new();
+                self.cloud
+                    .http
+                    .visit(calib.download(calib.kernel_initrd_size))
+                    .await;
+                timer.mark("download-kernel");
+                None
+            }
+            AttestationMode::Provider | AttestationMode::Tenant => {
+                // The prototype supports one airlock: the attestation
+                // window (agent download through quote verification) is
+                // serialised across nodes (§7.3).
+                let airlock_permit = self.cloud.airlock.acquire().await;
+                timer.mark("airlock-wait");
+                self.cloud
+                    .http
+                    .visit(calib.download(calib.agent_size))
+                    .await;
+                machine.measure_download("keylime-agent", agent_binary_digest())?;
+                timer.mark("download-agent");
+                sim.sleep(calib.agent_startup).await;
+                let agent = Agent::start(sim, &name, &machine).await;
+                // Fork a task-local RNG: RefCell borrows must never be
+                // held across an await.
+                let mut task_rng = self.rng.borrow_mut().fork();
+                {
+                    let mut src = SimRngSource(&mut task_rng);
+                    agent
+                        .register(sim, &self.registrar, &mut src)
+                        .await
+                        .map_err(|e| ProvisionError::Rejected(format!("registration: {e}")))?;
+                }
+                timer.mark("keylime-register");
+                debug_assert!(self.verify_node_identity(node, &name));
+                // Build the sealed payload and split the bootstrap key.
+                let (k, u, v) = {
+                    let mut kb = [0u8; 32];
+                    task_rng.fill_bytes(&mut kb);
+                    let k = Key(kb);
+                    let mut src = SimRngSource(&mut task_rng);
+                    let (u, v) = split_key(&k, &mut src);
+                    (k, u, v)
+                };
+                psk = if profile.net_encryption {
+                    format!("{}-enclave-psk", self.project).into_bytes()
+                } else {
+                    Vec::new()
+                };
+                let luks_pass = if profile.disk_encryption {
+                    format!("{}-luks-{name}", self.project).into_bytes()
+                } else {
+                    Vec::new()
+                };
+                let payload = TenantPayload {
+                    kernel_name: kernel.name.clone(),
+                    kernel_digest: kernel.digest,
+                    kernel_size: calib.kernel_initrd_size,
+                    cmdline: _cmdline.clone(),
+                    luks_passphrase: luks_pass,
+                    ipsec_psk: psk.clone(),
+                    script: "verify-enclave-network && store-keys-in-initrd && kexec".into(),
+                };
+                let sealed = payload.seal(&k);
+                agent.deliver_u(u);
+                // The tenant also whitelists its own kernel: after kexec,
+                // continuous attestation will see it in PCR 5.
+                let mut boot_wl = self.boot_whitelist(node);
+                boot_wl.insert(kernel.digest);
+                self.verifier.add_node(
+                    &agent,
+                    boot_wl,
+                    self.ima_whitelist.borrow().clone(),
+                    Some(v),
+                    sealed,
+                    calib.kernel_initrd_size,
+                );
+                match self.verifier.attest_once(&name, false).await {
+                    AttestOutcome::Trusted => {}
+                    AttestOutcome::Failed(reason) => {
+                        // Step 5 (failure): move to the rejected pool and
+                        // clean up the cloned volume.
+                        lc.transition(sim, NodeState::Rejected)
+                            .expect("airlock->rejected");
+                        self.cloud.hil.detach_node(&self.project, node)?;
+                        self.cloud.hil.free_node(&self.project, node)?;
+                        self.cloud.quarantine(node);
+                        let _ = self.cloud.bmi.release(image, false);
+                        self.cloud.tracer.record(
+                            sim,
+                            "tenant",
+                            format!("{name} REJECTED: {reason}"),
+                        );
+                        return Err(ProvisionError::Rejected(reason));
+                    }
+                }
+                // Persist the bootstrap key sealed to this boot state so
+                // an identical warm reboot can skip the U/V dance.
+                agent.seal_bootstrap();
+                timer.mark("attest+payload");
+                drop(airlock_permit);
+                Some(agent)
+            }
+        };
+
+        // Step 4/6: leave the airlock, join the tenant enclave.
+        self.cloud
+            .hil
+            .connect_node(&self.project, node, self.enclave)?;
+        sim.sleep(calib.network_move).await;
+        if lc.state() == NodeState::Airlock {
+            lc.transition(sim, NodeState::Allocated)
+                .expect("airlock->allocated");
+        } else {
+            lc.transition(sim, NodeState::Allocated)
+                .expect("free->allocated");
+        }
+        timer.mark("network-move");
+
+        // kexec into the tenant kernel and boot from the network disk.
+        machine.kexec(kernel, &self.project)?;
+        let target =
+            self.cloud
+                .bmi
+                .boot_target(image, profile.storage_transport(), profile.read_ahead);
+        if profile.disk_encryption {
+            sim.sleep(calib.luks_unlock).await;
+        }
+        if profile.net_encryption {
+            sim.sleep(calib.ipsec_setup).await;
+        }
+        // Boot is sequential: read a unit from the root disk, run init
+        // work, repeat — so I/O and CPU do not overlap, and a slower
+        // (IPsec) disk directly lengthens kernel boot, as the paper
+        // observes ("the major cost is ... the slower disk that is
+        // accessed over IPsec").
+        {
+            let total = calib.boot_touched_bytes;
+            let req = calib.boot_io_request;
+            let mut off = 0u64;
+            while off < total {
+                let len = req.min(total - off);
+                let _ = target.read_timed(off, len).await;
+                off += len;
+            }
+        }
+        sim.sleep(calib.kernel_boot_cpu).await;
+        timer.mark("kernel-boot");
+
+        let finished = sim.now();
+        self.cloud.tracer.record(
+            sim,
+            "tenant",
+            format!("{name} provisioned in {}", finished.since(started)),
+        );
+        Ok(ProvisionedNode {
+            node,
+            machine,
+            agent,
+            target,
+            image,
+            report: ProvisionReport {
+                node: name,
+                profile: profile.name.clone(),
+                phases: timer.phases,
+                started,
+                finished,
+            },
+            lifecycle: lc,
+            psk,
+        })
+    }
+
+    /// Warm restart: power-cycles an already-provisioned node and boots
+    /// it back into the enclave using the TPM-sealed bootstrap key —
+    /// **no registrar round, no verifier round, no U/V re-bootstrap**.
+    ///
+    /// This only works because the sealed blob's PCR policy *is* an
+    /// attestation: if the firmware or boot code changed since the node
+    /// was attested, `recover_bootstrap` fails and the caller must fall
+    /// back to a full [`Tenant::provision`] (which will catch the
+    /// tamper). Returns the timing report of the restart.
+    pub async fn warm_restart(
+        &self,
+        pnode: &ProvisionedNode,
+        profile: &SecurityProfile,
+    ) -> Result<ProvisionReport, ProvisionError> {
+        let sim = &self.cloud.sim;
+        let calib = &self.cloud.calib;
+        let started = sim.now();
+        let mut timer = PhaseTimer::new(sim);
+        let machine = &pnode.machine;
+        let agent = pnode.agent.as_ref().ok_or_else(|| {
+            ProvisionError::Rejected("warm restart needs an attested node".into())
+        })?;
+        self.cloud.hil.power_cycle(&self.project, pnode.node)?;
+        machine.run_firmware(sim).await?;
+        timer.mark("post");
+        // Re-fetch + measure the agent so PCR 4 replays the sealed policy.
+        self.cloud
+            .http
+            .visit(calib.download(calib.agent_size))
+            .await;
+        machine.measure_download("keylime-agent", agent_binary_digest())?;
+        timer.mark("download-agent");
+        // The sealed key only opens if the measured chain is identical.
+        agent
+            .recover_bootstrap()
+            .map_err(|e| ProvisionError::Rejected(format!("sealed-key recovery: {e}")))?;
+        timer.mark("unseal");
+        let payload = agent
+            .payload()
+            .ok_or_else(|| ProvisionError::Rejected("no cached payload".into()))?;
+        let kernel = bolted_firmware::KernelImage::from_digest(
+            &payload.kernel_name,
+            payload.kernel_digest,
+            payload.kernel_size,
+        );
+        machine.kexec(kernel, &self.project)?;
+        if profile.disk_encryption {
+            sim.sleep(calib.luks_unlock).await;
+        }
+        if profile.net_encryption {
+            sim.sleep(calib.ipsec_setup).await;
+        }
+        {
+            let total = calib.boot_touched_bytes;
+            let req = calib.boot_io_request;
+            let mut off = 0u64;
+            while off < total {
+                let len = req.min(total - off);
+                let _ = pnode.target.read_timed(off, len).await;
+                off += len;
+            }
+        }
+        sim.sleep(calib.kernel_boot_cpu).await;
+        timer.mark("kernel-boot");
+        self.cloud.tracer.record(
+            sim,
+            "tenant",
+            format!(
+                "warm restart of {} in {}",
+                pnode.report.node,
+                sim.now().since(started)
+            ),
+        );
+        Ok(ProvisionReport {
+            node: pnode.report.node.clone(),
+            profile: format!("{}-warm-restart", profile.name),
+            phases: timer.phases,
+            started,
+            finished: sim.now(),
+        })
+    }
+
+    /// Releases a node back to the free pool. With diskless provisioning
+    /// there is nothing to scrub: the volume either persists (to restart
+    /// later on any compatible node) or is deleted in the image store.
+    pub async fn release(
+        &self,
+        mut pnode: ProvisionedNode,
+        keep_volume: bool,
+    ) -> Result<Lifecycle, ProvisionError> {
+        let sim = &self.cloud.sim;
+        if let Some(agent) = &pnode.agent {
+            self.verifier.stop(agent.id());
+        }
+        self.cloud.hil.power_off(&self.project, pnode.node)?;
+        self.cloud.hil.free_node(&self.project, pnode.node)?;
+        self.cloud.bmi.release(pnode.image, keep_volume)?;
+        pnode
+            .lifecycle
+            .transition(sim, NodeState::Free)
+            .expect("allocated->free");
+        self.cloud.tracer.record(
+            sim,
+            "tenant",
+            format!("released node {}", pnode.report.node),
+        );
+        Ok(pnode.lifecycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudConfig;
+    use bolted_firmware::KernelImage;
+    use bolted_sim::Sim;
+
+    fn golden(cloud: &Cloud) -> bolted_storage::ImageId {
+        let kernel = KernelImage::from_bytes("fedora28-4.17.9", b"vmlinuz+initrd");
+        cloud
+            .bmi
+            .create_golden("fedora28", 8 << 30, 7, &kernel, "root=/dev/sda ima=on")
+            .expect("golden image")
+    }
+
+    fn build(firmware: FirmwareKind, nodes: usize) -> (Sim, Cloud) {
+        let sim = Sim::new();
+        let cloud = Cloud::build(
+            &sim,
+            CloudConfig {
+                nodes,
+                firmware,
+                ..CloudConfig::default()
+            },
+        );
+        (sim, cloud)
+    }
+
+    #[test]
+    fn alice_unattested_linuxboot_under_3_minutes() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 2);
+        let g = golden(&cloud);
+        let tenant = Tenant::new(&cloud, "alice").expect("tenant");
+        let node = cloud.nodes()[0];
+        let p = sim
+            .block_on(async move { tenant.provision(node, &SecurityProfile::alice(), g).await })
+            .expect("provisions");
+        let total = p.report.total().as_secs_f64();
+        assert!(total < 180.0, "paper: under 3 minutes; got {total}s");
+        assert!(total > 60.0, "sanity: {total}s");
+        assert!(p.agent.is_none());
+        assert_eq!(p.lifecycle.state(), NodeState::Allocated);
+    }
+
+    #[test]
+    fn bob_attested_under_4_minutes_and_modest_overhead() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 2);
+        let g = golden(&cloud);
+        let alice_t = Tenant::new(&cloud, "alice").expect("tenant");
+        let bob_t = Tenant::new(&cloud, "bob").expect("tenant");
+        let nodes = cloud.nodes();
+        let (a_total, b_total) = sim.block_on(async move {
+            let a = alice_t
+                .provision(nodes[0], &SecurityProfile::alice(), g)
+                .await
+                .expect("alice");
+            let b = bob_t
+                .provision(nodes[1], &SecurityProfile::bob(), g)
+                .await
+                .expect("bob");
+            (
+                a.report.total().as_secs_f64(),
+                b.report.total().as_secs_f64(),
+            )
+        });
+        assert!(b_total < 240.0, "paper: under 4 minutes; got {b_total}s");
+        let overhead = (b_total - a_total) / a_total;
+        assert!(
+            (0.05..0.50).contains(&overhead),
+            "attestation ≈25% overhead; got {:.0}% ({a_total}s vs {b_total}s)",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn charlie_full_attestation_gets_keys() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 2);
+        let g = golden(&cloud);
+        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+        let node = cloud.nodes()[0];
+        let p = sim
+            .block_on(async move { tenant.provision(node, &SecurityProfile::charlie(), g).await })
+            .expect("provisions");
+        let agent = p.agent.as_ref().expect("agent present");
+        let payload = agent.payload().expect("payload delivered");
+        assert!(!payload.luks_passphrase.is_empty());
+        assert!(!payload.ipsec_psk.is_empty());
+        assert_eq!(payload.ipsec_psk, p.psk);
+        // Phases present in the breakdown.
+        for phase in [
+            "post",
+            "download-agent",
+            "attest+payload",
+            "network-move",
+            "kernel-boot",
+        ] {
+            assert!(p.report.phase(phase).is_some(), "missing phase {phase}");
+        }
+    }
+
+    #[test]
+    fn uefi_slower_than_linuxboot_mainly_post() {
+        let (sim, cloud_lb) = build(FirmwareKind::LinuxBoot, 1);
+        let g = golden(&cloud_lb);
+        let t = Tenant::new(&cloud_lb, "bob").expect("tenant");
+        let n = cloud_lb.nodes()[0];
+        let lb = sim
+            .block_on(async move { t.provision(n, &SecurityProfile::bob(), g).await })
+            .expect("lb");
+        let (sim2, cloud_uefi) = build(FirmwareKind::Uefi, 1);
+        let g2 = golden(&cloud_uefi);
+        let t2 = Tenant::new(&cloud_uefi, "bob").expect("tenant");
+        let n2 = cloud_uefi.nodes()[0];
+        let uefi = sim2
+            .block_on(async move {
+                t2.provision(n2, &SecurityProfile::bob().on_uefi(), g2)
+                    .await
+            })
+            .expect("uefi");
+        let diff = uefi.report.total().as_secs_f64() - lb.report.total().as_secs_f64();
+        assert!(
+            diff > 190.0,
+            "UEFI adds ≥200s of POST (3x slower POST): diff {diff}s"
+        );
+        assert!(uefi.report.phase("download-heads").is_some());
+    }
+
+    #[test]
+    fn tampered_firmware_is_rejected_and_quarantined() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 2);
+        let g = golden(&cloud);
+        let node = cloud.nodes()[0];
+        // Previous tenant infected the flash.
+        let m = cloud.machine(node);
+        m.reflash(m.flash().tampered(b"spi bootkit"));
+        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+        let result = sim.block_on({
+            let tenant = tenant.clone();
+            async move { tenant.provision(node, &SecurityProfile::charlie(), g).await }
+        });
+        match result {
+            Err(ProvisionError::Rejected(_)) => {}
+            Err(other) => panic!("expected rejection, got {other}"),
+            Ok(_) => panic!("tampered firmware must not provision"),
+        }
+        assert_eq!(cloud.rejected_pool(), vec![node]);
+        // The node never reached the tenant enclave, and no keys leaked.
+    }
+
+    #[test]
+    fn alice_is_not_protected_from_tampered_firmware() {
+        // The flip side of choice: Alice's unattested flow boots right
+        // through a bootkit — exactly the risk she accepted.
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 1);
+        let g = golden(&cloud);
+        let node = cloud.nodes()[0];
+        let m = cloud.machine(node);
+        m.reflash(m.flash().tampered(b"spi bootkit"));
+        let tenant = Tenant::new(&cloud, "alice").expect("tenant");
+        let p = sim
+            .block_on(async move { tenant.provision(node, &SecurityProfile::alice(), g).await })
+            .expect("boots anyway");
+        assert_eq!(p.lifecycle.state(), NodeState::Allocated);
+    }
+
+    #[test]
+    fn release_returns_node_and_optionally_keeps_volume() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 1);
+        let g = golden(&cloud);
+        let tenant = Tenant::new(&cloud, "alice").expect("tenant");
+        let node = cloud.nodes()[0];
+        let lc = sim.block_on({
+            let (tenant, cloud2) = (tenant.clone(), cloud.clone());
+            async move {
+                let p = tenant
+                    .provision(node, &SecurityProfile::alice(), g)
+                    .await
+                    .expect("provisions");
+                let lc = tenant.release(p, true).await.expect("releases");
+                assert!(cloud2.store.lookup("m620-01-root").is_some(), "volume kept");
+                lc
+            }
+        });
+        assert_eq!(lc.state(), NodeState::Free);
+        assert_eq!(cloud.hil.free_nodes().len(), 1);
+    }
+
+    #[test]
+    fn two_tenants_enclaves_are_isolated() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 2);
+        let g = golden(&cloud);
+        let t1 = Tenant::new(&cloud, "charlie").expect("tenant");
+        let t2 = Tenant::new(&cloud, "dave").expect("tenant");
+        let nodes = cloud.nodes();
+        sim.block_on({
+            let (t1, t2) = (t1.clone(), t2.clone());
+            let nodes = nodes.clone();
+            async move {
+                t1.provision(nodes[0], &SecurityProfile::alice(), g)
+                    .await
+                    .expect("t1");
+                t2.provision(nodes[1], &SecurityProfile::alice(), g)
+                    .await
+                    .expect("t2");
+            }
+        });
+        let h0 = cloud.hil.node_host(nodes[0]).expect("host");
+        let h1 = cloud.hil.node_host(nodes[1]).expect("host");
+        assert!(
+            cloud.fabric.path(h0, h1).is_err(),
+            "different tenants' nodes must not reach each other"
+        );
+    }
+}
+
+#[cfg(test)]
+mod warm_restart_tests {
+    use super::*;
+    use crate::cloud::CloudConfig;
+    use bolted_firmware::KernelImage;
+    use bolted_sim::Sim;
+
+    fn setup() -> (Sim, Cloud, bolted_storage::ImageId, Tenant) {
+        let sim = Sim::new();
+        let cloud = Cloud::build(
+            &sim,
+            CloudConfig {
+                nodes: 1,
+                ..CloudConfig::default()
+            },
+        );
+        let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
+        let golden = cloud
+            .bmi
+            .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+            .expect("golden");
+        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+        (sim, cloud, golden, tenant)
+    }
+
+    #[test]
+    fn warm_restart_is_much_faster_than_full_provision() {
+        let (sim, cloud, golden, tenant) = setup();
+        let node = cloud.nodes()[0];
+        let (full, warm) = sim.block_on({
+            let tenant = tenant.clone();
+            async move {
+                let p = tenant
+                    .provision(node, &SecurityProfile::charlie(), golden)
+                    .await
+                    .expect("provisions");
+                let full = p.report.total().as_secs_f64();
+                let warm = tenant
+                    .warm_restart(&p, &SecurityProfile::charlie())
+                    .await
+                    .expect("warm restarts")
+                    .total()
+                    .as_secs_f64();
+                (full, warm)
+            }
+        });
+        assert!(
+            warm < full - 25.0,
+            "warm restart skips AIK + registrar + verifier + payload: {full:.1}s vs {warm:.1}s"
+        );
+    }
+
+    #[test]
+    fn warm_restart_refuses_tampered_firmware() {
+        let (sim, cloud, golden, tenant) = setup();
+        let node = cloud.nodes()[0];
+        let r = sim.block_on({
+            let tenant = tenant.clone();
+            let cloud = cloud.clone();
+            async move {
+                let p = tenant
+                    .provision(node, &SecurityProfile::charlie(), golden)
+                    .await
+                    .expect("provisions");
+                let m = cloud.machine(node);
+                m.reflash(m.flash().tampered(b"implant while powered off"));
+                tenant.warm_restart(&p, &SecurityProfile::charlie()).await
+            }
+        });
+        match r {
+            Err(ProvisionError::Rejected(reason)) => {
+                assert!(reason.contains("sealed-key"), "{reason}");
+            }
+            _ => panic!("tampered firmware must break the sealed policy"),
+        }
+    }
+
+    #[test]
+    fn warm_restart_requires_an_attested_node() {
+        let (sim, cloud, golden, tenant) = setup();
+        let node = cloud.nodes()[0];
+        let alice = Tenant::new(&cloud, "alice").expect("tenant");
+        let r = sim.block_on({
+            let alice = alice.clone();
+            async move {
+                let p = alice
+                    .provision(node, &SecurityProfile::alice(), golden)
+                    .await
+                    .expect("provisions");
+                alice.warm_restart(&p, &SecurityProfile::alice()).await
+            }
+        });
+        assert!(matches!(r, Err(ProvisionError::Rejected(_))));
+        drop(tenant);
+    }
+}

@@ -1,0 +1,181 @@
+//! Authenticated encryption: ChaCha20 + HMAC-SHA-256 (encrypt-then-MAC).
+//!
+//! Plays the role of AES-256-GCM in the paper's IPsec configuration and of
+//! the encrypted payload ("zip file") Keylime delivers to agents. The MAC
+//! covers associated data, nonce and ciphertext, with lengths appended to
+//! prevent boundary-shifting attacks.
+
+use crate::chacha20::{chacha20_encrypt, Key, NONCE_LEN};
+use crate::ct::ct_eq;
+use crate::hmac::{hkdf, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// Length in bytes of the authentication tag.
+pub const TAG_LEN: usize = DIGEST_LEN;
+
+/// Errors returned by AEAD opening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// Ciphertext shorter than a tag.
+    Truncated,
+    /// Authentication tag mismatch: wrong key, tampered data, or wrong AAD.
+    BadTag,
+}
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AeadError::Truncated => write!(f, "ciphertext truncated"),
+            AeadError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// An AEAD cipher instance with independent encryption and MAC subkeys
+/// derived from one master key.
+pub struct Aead {
+    enc_key: Key,
+    mac_key: [u8; 32],
+}
+
+impl Aead {
+    /// Derives an AEAD instance from a master key.
+    pub fn new(master: &Key) -> Self {
+        let okm = hkdf(b"bolted-aead-v1", &master.0, b"enc|mac", 64);
+        let enc_key = Key::from_slice(&okm[..32]);
+        let mut mac_key = [0u8; 32];
+        mac_key.copy_from_slice(&okm[32..]);
+        Aead { enc_key, mac_key }
+    }
+
+    /// Seals `plaintext` with the given nonce and associated data,
+    /// returning `ciphertext || tag`.
+    ///
+    /// Nonce reuse under the same key destroys confidentiality, exactly as
+    /// with real ChaCha20; callers use per-packet counters.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = chacha20_encrypt(&self.enc_key, nonce, 1, plaintext);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Opens `ciphertext || tag`, verifying the tag before decrypting.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if sealed.len() < TAG_LEN {
+            return Err(AeadError::Truncated);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expect = self.tag(nonce, aad, ct);
+        if !ct_eq(&expect, tag) {
+            return Err(AeadError::BadTag);
+        }
+        Ok(chacha20_encrypt(&self.enc_key, nonce, 1, ct))
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(aad);
+        mac.update(nonce);
+        mac.update(ct);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ct.len() as u64).to_le_bytes());
+        *mac.finalize().as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::from_slice(&[0x42; 32])
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let aead = Aead::new(&key());
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"header", b"secret payload");
+        assert_eq!(sealed.len(), 14 + TAG_LEN);
+        let opened = aead.open(&nonce, b"header", &sealed).expect("opens");
+        assert_eq!(opened, b"secret payload");
+    }
+
+    #[test]
+    fn tamper_ciphertext_detected() {
+        let aead = Aead::new(&key());
+        let nonce = [1u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", b"data");
+        sealed[0] ^= 1;
+        assert_eq!(aead.open(&nonce, b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn tamper_tag_detected() {
+        let aead = Aead::new(&key());
+        let nonce = [1u8; 12];
+        let mut sealed = aead.seal(&nonce, b"", b"data");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert_eq!(aead.open(&nonce, b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_aad_detected() {
+        let aead = Aead::new(&key());
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"aad1", b"data");
+        assert_eq!(aead.open(&nonce, b"aad2", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_nonce_detected() {
+        let aead = Aead::new(&key());
+        let sealed = aead.seal(&[1u8; 12], b"", b"data");
+        assert_eq!(aead.open(&[2u8; 12], b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let aead = Aead::new(&key());
+        let other = Aead::new(&Key::from_slice(&[0x43; 32]));
+        let nonce = [1u8; 12];
+        let sealed = aead.seal(&nonce, b"", b"data");
+        assert_eq!(other.open(&nonce, b"", &sealed), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let aead = Aead::new(&key());
+        assert_eq!(
+            aead.open(&[0u8; 12], b"", &[0u8; TAG_LEN - 1]),
+            Err(AeadError::Truncated)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_ok() {
+        let aead = Aead::new(&key());
+        let nonce = [9u8; 12];
+        let sealed = aead.seal(&nonce, b"aad", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(aead.open(&nonce, b"aad", &sealed).expect("opens"), b"");
+    }
+
+    #[test]
+    fn aad_ct_boundary_not_malleable() {
+        // (aad="ab", pt="c") must not authenticate as (aad="a", pt="bc").
+        let aead = Aead::new(&key());
+        let nonce = [5u8; 12];
+        let sealed = aead.seal(&nonce, b"ab", b"c");
+        assert!(aead.open(&nonce, b"a", &sealed).is_err());
+    }
+}

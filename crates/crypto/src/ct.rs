@@ -1,0 +1,69 @@
+//! Constant-time helpers.
+
+/// Compares two byte slices without early exit.
+///
+/// Returns `false` for length mismatches (length is not secret here).
+/// The accumulator-OR pattern prevents the comparison time from depending
+/// on *where* the first difference occurs.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time conditional select of bytes: returns `a` when
+/// `choice == 1`, `b` when `choice == 0`.
+///
+/// # Panics
+///
+/// Panics if `choice` is not 0 or 1, or if lengths differ.
+pub fn ct_select(choice: u8, a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert!(choice <= 1, "choice must be 0 or 1");
+    assert_eq!(a.len(), b.len(), "ct_select length mismatch");
+    let mask = choice.wrapping_neg(); // 0xFF or 0x00
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x & mask) | (y & !mask))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"hello", b"hello"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"hello", b"hellO"));
+        assert!(!ct_eq(b"hello", b"hell"));
+        assert!(!ct_eq(b"", b"x"));
+    }
+
+    #[test]
+    fn select_picks_correctly() {
+        assert_eq!(ct_select(1, b"aaa", b"bbb"), b"aaa");
+        assert_eq!(ct_select(0, b"aaa", b"bbb"), b"bbb");
+    }
+
+    #[test]
+    #[should_panic(expected = "choice must be 0 or 1")]
+    fn select_rejects_bad_choice() {
+        ct_select(2, b"a", b"b");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn select_rejects_length_mismatch() {
+        ct_select(1, b"a", b"bb");
+    }
+}

@@ -1,0 +1,265 @@
+//! Probabilistic primality testing and prime generation.
+//!
+//! Miller–Rabin with the deterministic base set for 64-bit inputs and
+//! seeded random bases above that, plus small-prime trial division for
+//! speed. Prime generation is deterministic given the caller's RNG, which
+//! keeps TPM identities reproducible across simulation runs.
+
+use crate::bignum::BigUint;
+
+/// A deterministic RNG source for prime generation; implemented by
+/// `bolted_sim::Rng` in practice, duplicated here as a tiny trait so this
+/// crate stays dependency-free.
+pub trait RandomSource {
+    /// Returns 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills a buffer with random bytes.
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// A minimal xorshift-based random source for when callers do not bring
+/// their own (used by tests and key generation defaults).
+#[derive(Debug, Clone)]
+pub struct XorShiftSource {
+    state: u64,
+}
+
+impl XorShiftSource {
+    /// Creates a source from a non-zero seed (zero is mapped to a fixed
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        XorShiftSource {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+}
+
+impl RandomSource for XorShiftSource {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+const SMALL_PRIMES: [u32; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Deterministic Miller–Rabin bases valid for all `n < 3.3 * 10^24`.
+const DETERMINISTIC_BASES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+/// Number of random Miller–Rabin rounds for large candidates
+/// (error probability < 4^-24).
+const RANDOM_ROUNDS: usize = 24;
+
+/// Miller–Rabin strong-probable-prime test to base `a`.
+/// Requires odd `n > 2` and `1 < a < n - 1`.
+fn sprp(n: &BigUint, a: &BigUint) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    // Write n-1 = d * 2^r.
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        r += 1;
+    }
+    let mut x = a.modpow(&d, n);
+    if x == one || x == n_minus_1 {
+        return true;
+    }
+    for _ in 0..r - 1 {
+        x = x.mul(&x).rem(n);
+        if x == n_minus_1 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Tests `n` for primality.
+pub fn is_prime(n: &BigUint, rng: &mut dyn RandomSource) -> bool {
+    if n.is_zero() || n == &BigUint::one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(u64::from(p));
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // n > 251 and odd from here on.
+    if n.bits() <= 81 {
+        // Deterministic for anything that fits well under 3.3e24.
+        for &b in &DETERMINISTIC_BASES {
+            if !sprp(n, &BigUint::from_u64(b)) {
+                return false;
+            }
+        }
+        return true;
+    }
+    // Random bases in [2, n-2].
+    let n_minus_3 = n.sub(&BigUint::from_u64(3));
+    for _ in 0..RANDOM_ROUNDS {
+        let a = random_below(&n_minus_3, rng).add(&BigUint::from_u64(2));
+        if !sprp(n, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns a uniform value in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below(bound: &BigUint, rng: &mut dyn RandomSource) -> BigUint {
+    assert!(!bound.is_zero(), "random_below bound must be positive");
+    let byte_len = bound.to_bytes_be().len();
+    let top_bits = bound.bits() % 8;
+    loop {
+        let mut buf = vec![0u8; byte_len];
+        rng.fill_bytes(&mut buf);
+        if top_bits != 0 {
+            buf[0] &= (1u8 << top_bits) - 1;
+        }
+        let candidate = BigUint::from_bytes_be(&buf);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+pub fn gen_prime(bits: usize, rng: &mut dyn RandomSource) -> BigUint {
+    assert!(bits >= 8, "prime size too small");
+    loop {
+        let byte_len = bits.div_ceil(8);
+        let mut buf = vec![0u8; byte_len];
+        rng.fill_bytes(&mut buf);
+        // Force exact bit length and oddness.
+        let top_bit = (bits - 1) % 8;
+        let mask = ((1u16 << (top_bit + 1)) - 1) as u8;
+        buf[0] &= mask;
+        buf[0] |= 1 << top_bit;
+        let last = buf.len() - 1;
+        buf[last] |= 1;
+        let candidate = BigUint::from_bytes_be(&buf);
+        if candidate.bits() == bits && is_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> XorShiftSource {
+        XorShiftSource::new(0xB01DED)
+    }
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_primes_accepted() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 97, 251, 257, 65537, 1_000_000_007] {
+            assert!(is_prime(&n(p), &mut r), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 9, 15, 255, 1001, 65535, 1_000_000_005] {
+            assert!(!is_prime(&n(c), &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Fermat pseudoprimes that fool weak tests.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(&n(c), &mut r), "Carmichael {c}");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_to_base_2_rejected() {
+        let mut r = rng();
+        for c in [2047u64, 3277, 4033, 4681, 8321] {
+            assert!(!is_prime(&n(c), &mut r), "2-SPRP {c}");
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^89 - 1 is a Mersenne prime (exceeds the 81-bit deterministic
+        // path, exercising the random-base branch).
+        let mut r = rng();
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        assert!(is_prime(&p, &mut r));
+        // 2^83 - 1 is composite (167 divides it).
+        let c = BigUint::one().shl(83).sub(&BigUint::one());
+        assert!(!is_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits_and_is_prime() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits, "requested {bits} bits");
+            assert!(p.is_odd());
+            assert!(is_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_prime_deterministic_per_seed() {
+        let a = gen_prime(64, &mut XorShiftSource::new(7));
+        let b = gen_prime(64, &mut XorShiftSource::new(7));
+        let c = gen_prime(64, &mut XorShiftSource::new(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = n(1000);
+        for _ in 0..1000 {
+            assert!(random_below(&bound, &mut r) < bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn random_below_zero_panics() {
+        random_below(&BigUint::zero(), &mut rng());
+    }
+}

@@ -1,0 +1,481 @@
+//! The Keylime Agent — runs on the attested node.
+//!
+//! "The Agent is downloaded and measured by the server (firmware or
+//! previously measured software) and then passes quotes from the
+//! server's TPM to the verifier" (§5). After a successful attestation it
+//! receives the V key share from the verifier, combines it with the U
+//! share it got from the tenant, decrypts the payload, and executes the
+//! tenant script (join network, unlock disk, kexec).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bolted_crypto::chacha20::Key;
+use bolted_crypto::sha256::{sha256, Digest};
+use bolted_firmware::Machine;
+use bolted_sim::{Sim, SimDuration};
+use bolted_tpm::{CredentialBlob, EventLog, Quote, SealedBlob, TpmError};
+
+use crate::ima::ImaLog;
+use crate::payload::{combine_key, KeyShare, TenantPayload};
+use crate::registrar::Registrar;
+
+/// The canonical agent binary (what gets downloaded and measured). In
+/// the real system this is the Python agent; here it is a stand-in byte
+/// string whose digest goes on boot whitelists.
+pub const AGENT_BINARY: &[u8] = b"keylime-agent v6 (rust rewrite, as the paper suggests)";
+
+/// Digest of [`AGENT_BINARY`].
+pub fn agent_binary_digest() -> Digest {
+    sha256(AGENT_BINARY)
+}
+
+/// Everything a verifier receives in response to an attestation request.
+#[derive(Debug, Clone)]
+pub struct AttestationEvidence {
+    /// The signed quote.
+    pub quote: Quote,
+    /// The boot event log (replayed by the verifier).
+    pub boot_log: EventLog,
+    /// The IMA measurement list (replayed and whitelist-checked).
+    pub ima_log: ImaLog,
+}
+
+struct AgentInner {
+    u_share: Option<KeyShare>,
+    v_share: Option<KeyShare>,
+    payload: Option<TenantPayload>,
+    revoked: bool,
+}
+
+/// An agent instance bound to one machine.
+#[derive(Clone)]
+pub struct Agent {
+    id: String,
+    machine: Machine,
+    ima: Rc<RefCell<ImaLog>>,
+    inner: Rc<RefCell<AgentInner>>,
+}
+
+impl Agent {
+    /// Starts the agent on a machine: creates an AIK in the TPM
+    /// (charging its creation latency) and measures nothing by itself —
+    /// the *firmware* must already have measured the agent binary before
+    /// running it for the chain of trust to hold.
+    pub async fn start(sim: &Sim, id: impl Into<String>, machine: &Machine) -> Agent {
+        let create_ns = machine.with_tpm(|t| t.timings().create_aik_ns);
+        sim.sleep(SimDuration::from_nanos(create_ns)).await;
+        machine.with_tpm(|t| t.create_aik());
+        Agent {
+            id: id.into(),
+            machine: machine.clone(),
+            ima: Rc::new(RefCell::new(ImaLog::new())),
+            inner: Rc::new(RefCell::new(AgentInner {
+                u_share: None,
+                v_share: None,
+                payload: None,
+                revoked: false,
+            })),
+        }
+    }
+
+    /// Agent id (node name).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The machine this agent runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Registers with a registrar and activates the credential challenge,
+    /// charging the TPM activation latency.
+    pub async fn register(
+        &self,
+        sim: &Sim,
+        registrar: &Registrar,
+        rng: &mut dyn bolted_crypto::prime::RandomSource,
+    ) -> Result<(), TpmError> {
+        let (ek, aik) = self.machine.with_tpm(|t| {
+            (
+                t.ek_pub().clone(),
+                t.aik_pub().expect("AIK created in start()").clone(),
+            )
+        });
+        let blob: CredentialBlob = registrar
+            .register(&self.id, ek, aik, rng)
+            .map_err(|_| TpmError::BadCredential)?;
+        let activate_ns = self.machine.with_tpm(|t| t.timings().activate_ns);
+        sim.sleep(SimDuration::from_nanos(activate_ns)).await;
+        let secret = self.machine.with_tpm(|t| t.activate_credential(&blob))?;
+        let proof = Registrar::proof_for(&self.id, &secret);
+        registrar
+            .activate(&self.id, &proof)
+            .map_err(|_| TpmError::BadCredential)?;
+        Ok(())
+    }
+
+    /// Produces attestation evidence for the verifier's nonce, charging
+    /// the TPM quote latency.
+    pub async fn attest(
+        &self,
+        sim: &Sim,
+        nonce: [u8; 32],
+        selection: &[usize],
+    ) -> Result<AttestationEvidence, TpmError> {
+        let quote_ns = self.machine.with_tpm(|t| t.timings().quote_ns);
+        sim.sleep(SimDuration::from_nanos(quote_ns)).await;
+        let (quote, boot_log) = self.machine.with_tpm(|t| {
+            let q = t.quote(selection, nonce);
+            (q, t.event_log().clone())
+        });
+        Ok(AttestationEvidence {
+            quote: quote?,
+            boot_log,
+            ima_log: self.ima.borrow().clone(),
+        })
+    }
+
+    /// The node's kernel reports an IMA-measurable file access.
+    pub fn ima_measure(&self, path: &str, content: &[u8]) {
+        let mut log = self.ima.borrow_mut();
+        self.machine.with_tpm(|t| log.measure(t, path, content));
+    }
+
+    /// The node's kernel reports an IMA-measurable access by digest.
+    pub fn ima_measure_digest(&self, path: &str, digest: Digest) {
+        let mut log = self.ima.borrow_mut();
+        self.machine
+            .with_tpm(|t| log.measure_digest(t, path, digest));
+    }
+
+    /// Tenant-side delivery of the U key share (over the tenant's own
+    /// secure channel, before the node is trusted).
+    pub fn deliver_u(&self, u: KeyShare) {
+        self.inner.borrow_mut().u_share = Some(u);
+    }
+
+    /// Verifier-side delivery of the V key share + sealed payload — only
+    /// happens after attestation success.
+    pub fn deliver_v_and_payload(&self, v: KeyShare, sealed_payload: &[u8]) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        inner.v_share = Some(v);
+        let (Some(u), Some(vv)) = (&inner.u_share, &inner.v_share) else {
+            return false;
+        };
+        let k: Key = combine_key(u, vv);
+        match TenantPayload::open(sealed_payload, &k) {
+            Ok(p) => {
+                inner.payload = Some(p);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The decrypted payload, once both shares have arrived.
+    pub fn payload(&self) -> Option<TenantPayload> {
+        self.inner.borrow().payload.clone()
+    }
+
+    /// NVRAM index where the sealed bootstrap key lives.
+    const BOOTSTRAP_NV_INDEX: u32 = 0x1500;
+
+    /// Seals the combined bootstrap key to the current measured-boot
+    /// state (PCRs 0 and 4) and persists it in TPM NVRAM, so an
+    /// *identical* reboot can recover it without a fresh U/V bootstrap —
+    /// the trick real Keylime uses across the kexec boundary.
+    ///
+    /// Returns `false` when no complete key is held yet.
+    pub fn seal_bootstrap(&self) -> bool {
+        let key = {
+            let inner = self.inner.borrow();
+            match (&inner.u_share, &inner.v_share) {
+                (Some(u), Some(v)) => combine_key(u, v),
+                _ => return false,
+            }
+        };
+        let blob = self.machine.with_tpm(|t| {
+            let blob = t.seal(
+                &[bolted_tpm::index::FIRMWARE, bolted_tpm::index::BOOT_CODE],
+                &key.0,
+            );
+            t.nv_write(Self::BOOTSTRAP_NV_INDEX, blob.to_bytes());
+            blob
+        });
+        drop(blob);
+        true
+    }
+
+    /// Attempts to recover a previously sealed bootstrap key. Succeeds
+    /// only on the same TPM after an identical measured boot.
+    pub fn recover_bootstrap(&self) -> Result<Key, TpmError> {
+        self.machine.with_tpm(|t| {
+            let bytes = t.nv_read(Self::BOOTSTRAP_NV_INDEX)?.to_vec();
+            let blob = SealedBlob::from_bytes(&bytes).ok_or(TpmError::PolicyMismatch)?;
+            let raw = t.unseal(&blob)?;
+            if raw.len() != 32 {
+                return Err(TpmError::PolicyMismatch);
+            }
+            Ok(Key::from_slice(&raw))
+        })
+    }
+
+    /// Marks the agent revoked (keys destroyed, node cryptographically
+    /// banned). Clears all key material.
+    pub fn revoke(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.revoked = true;
+        inner.u_share = None;
+        inner.v_share = None;
+        inner.payload = None;
+    }
+
+    /// True once revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.inner.borrow().revoked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolted_crypto::prime::XorShiftSource;
+    use bolted_crypto::sha256::sha256;
+    use bolted_firmware::{FirmwareKind, FirmwareSource};
+    use bolted_tpm::index;
+
+    fn machine() -> Machine {
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "heads-1.0", b"src").build();
+        let m = Machine::new("node-1", fw, 7, 512, 64);
+        m.power_on();
+        m
+    }
+
+    async fn booted_agent(sim: &Sim, m: &Machine) -> Agent {
+        m.run_firmware(sim).await.expect("boots");
+        m.measure_download("keylime-agent", agent_binary_digest())
+            .expect("measured");
+        Agent::start(sim, "node-1", m).await
+    }
+
+    #[test]
+    fn agent_start_charges_aik_time() {
+        let sim = Sim::new();
+        let m = machine();
+        sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move {
+                let _agent = booted_agent(&sim2, &m).await;
+            }
+        });
+        // POST (40s) + scrub + AIK creation (12s).
+        assert!(sim.now().as_secs_f64() > 50.0);
+    }
+
+    #[test]
+    fn attest_produces_verifiable_evidence() {
+        let sim = Sim::new();
+        let m = machine();
+        let ev = sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move {
+                let agent = booted_agent(&sim2, &m).await;
+                agent
+                    .attest(&sim2, [9; 32], &[index::FIRMWARE, index::BOOT_CODE])
+                    .await
+                    .expect("attests")
+            }
+        });
+        let aik = m.with_tpm(|t| t.aik_pub().expect("aik").clone());
+        assert!(ev.quote.verify(&aik));
+        assert_eq!(
+            ev.boot_log
+                .replay_composite(&[index::FIRMWARE, index::BOOT_CODE]),
+            ev.quote.composite(),
+            "event log replays to the quoted composite"
+        );
+    }
+
+    #[test]
+    fn registration_against_registrar() {
+        let sim = Sim::new();
+        let m = machine();
+        let registrar = Registrar::new();
+        let ok = sim.block_on({
+            let (sim2, m, reg) = (sim.clone(), m.clone(), registrar.clone());
+            async move {
+                let agent = booted_agent(&sim2, &m).await;
+                let mut rng = XorShiftSource::new(3);
+                agent.register(&sim2, &reg, &mut rng).await.is_ok()
+            }
+        });
+        assert!(ok);
+        assert!(registrar.certified_aik("node-1").is_some());
+    }
+
+    #[test]
+    fn ima_measurements_land_in_pcr10() {
+        let sim = Sim::new();
+        let m = machine();
+        sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move {
+                let agent = booted_agent(&sim2, &m).await;
+                agent.ima_measure("/usr/bin/top", b"top binary");
+                let ev = agent
+                    .attest(&sim2, [1; 32], &[index::IMA])
+                    .await
+                    .expect("attests");
+                assert_eq!(ev.ima_log.len(), 1);
+                assert_eq!(ev.ima_log.replay_pcr(), ev.quote.pcr_values[0]);
+            }
+        });
+    }
+
+    #[test]
+    fn payload_requires_both_shares() {
+        let sim = Sim::new();
+        let m = machine();
+        sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move {
+                let agent = booted_agent(&sim2, &m).await;
+                let k = Key([5u8; 32]);
+                let mut rng = XorShiftSource::new(9);
+                let (u, v) = crate::payload::split_key(&k, &mut rng);
+                let payload = TenantPayload {
+                    kernel_name: "k".into(),
+                    kernel_digest: sha256(b"k"),
+                    kernel_size: 1,
+                    cmdline: String::new(),
+                    luks_passphrase: b"pw".to_vec(),
+                    ipsec_psk: b"psk".to_vec(),
+                    script: String::new(),
+                };
+                let sealed = payload.seal(&k);
+                // V alone: cannot decrypt.
+                assert!(!agent.deliver_v_and_payload(v.clone(), &sealed));
+                assert!(agent.payload().is_none());
+                // With U first, V completes the key.
+                agent.deliver_u(u);
+                assert!(agent.deliver_v_and_payload(v, &sealed));
+                assert_eq!(agent.payload().expect("payload").luks_passphrase, b"pw");
+            }
+        });
+    }
+
+    #[test]
+    fn revocation_clears_key_material() {
+        let sim = Sim::new();
+        let m = machine();
+        sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move {
+                let agent = booted_agent(&sim2, &m).await;
+                agent.deliver_u(KeyShare([1; 32]));
+                agent.revoke();
+                assert!(agent.is_revoked());
+                assert!(agent.payload().is_none());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod seal_tests {
+    use super::*;
+    use crate::payload::split_key;
+    use bolted_crypto::prime::XorShiftSource;
+    use bolted_firmware::{FirmwareKind, FirmwareSource};
+
+    fn machine() -> Machine {
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "heads-1.0", b"src").build();
+        let m = Machine::new("node-1", fw, 7, 512, 64);
+        m.power_on();
+        m
+    }
+
+    async fn boot(sim: &Sim, m: &Machine) -> Agent {
+        m.run_firmware(sim).await.expect("boots");
+        m.measure_download("keylime-agent", agent_binary_digest())
+            .expect("measured");
+        Agent::start(sim, "node-1", m).await
+    }
+
+    fn delivered_agent(sim: &Sim, m: &Machine) -> (Agent, Key) {
+        let agent = sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move { boot(&sim2, &m).await }
+        });
+        let k = Key([0x21u8; 32]);
+        let mut rng = XorShiftSource::new(4);
+        let (u, v) = split_key(&k, &mut rng);
+        agent.deliver_u(u);
+        agent.inner.borrow_mut().v_share = Some(v);
+        (agent, k)
+    }
+
+    #[test]
+    fn seal_requires_complete_key() {
+        let sim = Sim::new();
+        let m = machine();
+        let agent = sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move { boot(&sim2, &m).await }
+        });
+        assert!(!agent.seal_bootstrap(), "no key yet");
+        agent.deliver_u(KeyShare([1; 32]));
+        assert!(!agent.seal_bootstrap(), "still missing V");
+    }
+
+    #[test]
+    fn bootstrap_survives_identical_reboot() {
+        let sim = Sim::new();
+        let m = machine();
+        let (agent, k) = delivered_agent(&sim, &m);
+        assert!(agent.seal_bootstrap());
+        // Reboot through the same measured chain.
+        m.power_cycle();
+        let agent2 = sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move { boot(&sim2, &m).await }
+        });
+        let recovered = agent2.recover_bootstrap().expect("recovers");
+        assert_eq!(recovered.0, k.0);
+    }
+
+    #[test]
+    fn bootstrap_unrecoverable_after_firmware_tamper() {
+        let sim = Sim::new();
+        let m = machine();
+        let (agent, _k) = delivered_agent(&sim, &m);
+        assert!(agent.seal_bootstrap());
+        // Attacker reflashes between occupancies.
+        m.reflash(m.flash().tampered(b"implant"));
+        m.power_cycle();
+        let agent2 = sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move { boot(&sim2, &m).await }
+        });
+        assert_eq!(
+            agent2.recover_bootstrap().unwrap_err(),
+            TpmError::PolicyMismatch
+        );
+    }
+
+    #[test]
+    fn recover_without_seal_errors() {
+        let sim = Sim::new();
+        let m = machine();
+        let agent = sim.block_on({
+            let (sim2, m) = (sim.clone(), m.clone());
+            async move { boot(&sim2, &m).await }
+        });
+        assert_eq!(
+            agent.recover_bootstrap().unwrap_err(),
+            TpmError::NvUndefined
+        );
+    }
+}

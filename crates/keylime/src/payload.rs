@@ -1,0 +1,231 @@
+//! Tenant payload delivery with the Keylime U/V key split.
+//!
+//! Keylime "delivers the tenant kernel, initrd and scripts to the server
+//! (after attestation success) using a secure connection" and the
+//! payload "also includes the keys for decrypting the storage and
+//! network" (§5). The bootstrap key `K` never travels whole: the tenant
+//! gives `U` to the agent and `V` to the Cloud Verifier; the verifier
+//! releases `V` only after the node attests clean, and only the node can
+//! then form `K = U ⊕ V`. Neither the registrar nor the verifier alone
+//! learns `K`.
+
+use bolted_crypto::aead::{Aead, AeadError};
+use bolted_crypto::chacha20::{Key, KEY_LEN};
+use bolted_crypto::prime::RandomSource;
+use bolted_crypto::sha256::Digest;
+
+/// Half of a split bootstrap key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct KeyShare(pub [u8; KEY_LEN]);
+
+impl std::fmt::Debug for KeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KeyShare(****)")
+    }
+}
+
+/// Splits `k` into two shares whose XOR is `k`.
+pub fn split_key(k: &Key, rng: &mut dyn RandomSource) -> (KeyShare, KeyShare) {
+    let mut v = [0u8; KEY_LEN];
+    rng.fill_bytes(&mut v);
+    let mut u = [0u8; KEY_LEN];
+    for (i, b) in u.iter_mut().enumerate() {
+        *b = k.0[i] ^ v[i];
+    }
+    (KeyShare(u), KeyShare(v))
+}
+
+/// Recombines the two shares into the bootstrap key.
+pub fn combine_key(u: &KeyShare, v: &KeyShare) -> Key {
+    let mut k = [0u8; KEY_LEN];
+    for (i, b) in k.iter_mut().enumerate() {
+        *b = u.0[i] ^ v.0[i];
+    }
+    Key(k)
+}
+
+/// The decrypted content of the tenant's provisioning payload (the
+/// paper's "encrypted zip file").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantPayload {
+    /// Kernel identifier.
+    pub kernel_name: String,
+    /// Kernel + initrd measurement the firmware will extend on kexec.
+    pub kernel_digest: Digest,
+    /// Kernel + initrd size in bytes (drives download timing).
+    pub kernel_size: u64,
+    /// Kernel command line.
+    pub cmdline: String,
+    /// LUKS passphrase for the node's encrypted root volume.
+    pub luks_passphrase: Vec<u8>,
+    /// Pre-shared key for the enclave's IPsec mesh.
+    pub ipsec_psk: Vec<u8>,
+    /// The post-attestation script the agent executes.
+    pub script: String,
+}
+
+impl TenantPayload {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let put = |out: &mut Vec<u8>, bytes: &[u8]| {
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        };
+        put(&mut out, self.kernel_name.as_bytes());
+        put(&mut out, self.kernel_digest.as_bytes());
+        out.extend_from_slice(&self.kernel_size.to_le_bytes());
+        put(&mut out, self.cmdline.as_bytes());
+        put(&mut out, &self.luks_passphrase);
+        put(&mut out, &self.ipsec_psk);
+        put(&mut out, self.script.as_bytes());
+        out
+    }
+
+    fn decode(data: &[u8]) -> Option<TenantPayload> {
+        struct Cursor<'a> {
+            data: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+                let s = self.data.get(self.pos..self.pos.checked_add(n)?)?;
+                self.pos += n;
+                Some(s)
+            }
+            fn take_lp(&mut self) -> Option<&'a [u8]> {
+                let len = u32::from_le_bytes(self.take(4)?.try_into().ok()?) as usize;
+                self.take(len)
+            }
+        }
+        let mut c = Cursor { data, pos: 0 };
+        let kernel_name = String::from_utf8(c.take_lp()?.to_vec()).ok()?;
+        let kernel_digest = Digest(c.take_lp()?.try_into().ok()?);
+        let kernel_size = u64::from_le_bytes(c.take(8)?.try_into().ok()?);
+        let cmdline = String::from_utf8(c.take_lp()?.to_vec()).ok()?;
+        let luks_passphrase = c.take_lp()?.to_vec();
+        let ipsec_psk = c.take_lp()?.to_vec();
+        let script = String::from_utf8(c.take_lp()?.to_vec()).ok()?;
+        Some(TenantPayload {
+            kernel_name,
+            kernel_digest,
+            kernel_size,
+            cmdline,
+            luks_passphrase,
+            ipsec_psk,
+            script,
+        })
+    }
+
+    /// Seals the payload under the bootstrap key.
+    pub fn seal(&self, k: &Key) -> Vec<u8> {
+        let aead = Aead::new(k);
+        aead.seal(&[0u8; 12], b"keylime-payload", &self.encode())
+    }
+
+    /// Opens a sealed payload.
+    pub fn open(sealed: &[u8], k: &Key) -> Result<TenantPayload, AeadError> {
+        let aead = Aead::new(k);
+        let plain = aead.open(&[0u8; 12], b"keylime-payload", sealed)?;
+        TenantPayload::decode(&plain).ok_or(AeadError::BadTag)
+    }
+
+    /// Approximate wire size of the sealed payload in bytes (kernel +
+    /// initrd dominate).
+    pub fn wire_size(&self) -> u64 {
+        self.kernel_size + self.encode().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolted_crypto::prime::XorShiftSource;
+    use bolted_crypto::sha256::sha256;
+
+    fn payload() -> TenantPayload {
+        TenantPayload {
+            kernel_name: "fedora28-4.17.9".into(),
+            kernel_digest: sha256(b"vmlinuz"),
+            kernel_size: 60 << 20,
+            cmdline: "root=/dev/mapper/luks-root ima_policy=tcb".into(),
+            luks_passphrase: b"disk passphrase".to_vec(),
+            ipsec_psk: b"enclave psk".to_vec(),
+            script: "join_enclave && kexec".into(),
+        }
+    }
+
+    #[test]
+    fn split_and_combine_round_trip() {
+        let mut rng = XorShiftSource::new(1);
+        let k = Key([7u8; 32]);
+        let (u, v) = split_key(&k, &mut rng);
+        assert_eq!(combine_key(&u, &v), k);
+        assert_ne!(u.0, k.0, "U alone is not the key");
+        assert_ne!(v.0, k.0, "V alone is not the key");
+    }
+
+    #[test]
+    fn shares_are_random_per_split() {
+        let mut rng = XorShiftSource::new(1);
+        let k = Key([7u8; 32]);
+        let (u1, _) = split_key(&k, &mut rng);
+        let (u2, _) = split_key(&k, &mut rng);
+        assert_ne!(u1.0, u2.0);
+    }
+
+    #[test]
+    fn single_share_cannot_open_payload() {
+        let mut rng = XorShiftSource::new(2);
+        let k = Key([9u8; 32]);
+        let (u, v) = split_key(&k, &mut rng);
+        let sealed = payload().seal(&k);
+        assert!(TenantPayload::open(&sealed, &Key(u.0)).is_err());
+        assert!(TenantPayload::open(&sealed, &Key(v.0)).is_err());
+        assert_eq!(
+            TenantPayload::open(&sealed, &combine_key(&u, &v)).expect("opens"),
+            payload()
+        );
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let k = Key([3u8; 32]);
+        let sealed = payload().seal(&k);
+        let opened = TenantPayload::open(&sealed, &k).expect("opens");
+        assert_eq!(opened, payload());
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let k = Key([3u8; 32]);
+        let mut sealed = payload().seal(&k);
+        sealed[10] ^= 1;
+        assert!(TenantPayload::open(&sealed, &k).is_err());
+    }
+
+    #[test]
+    fn secrets_not_visible_in_sealed_form() {
+        let k = Key([3u8; 32]);
+        let sealed = payload().seal(&k);
+        assert!(!sealed.windows(10).any(|w| w == b"passphrase"));
+        assert!(!sealed.windows(3).any(|w| w == b"psk"));
+    }
+
+    #[test]
+    fn wire_size_dominated_by_kernel() {
+        let p = payload();
+        assert!(p.wire_size() > p.kernel_size);
+        assert!(p.wire_size() < p.kernel_size + 4096);
+    }
+
+    #[test]
+    fn truncated_payload_decode_fails() {
+        let k = Key([3u8; 32]);
+        let sealed = payload().seal(&k);
+        let aead = Aead::new(&k);
+        let plain = aead
+            .open(&[0u8; 12], b"keylime-payload", &sealed)
+            .expect("opens");
+        assert!(TenantPayload::decode(&plain[..10]).is_none());
+    }
+}

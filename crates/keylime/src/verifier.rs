@@ -1,0 +1,802 @@
+//! The Keylime Cloud Verifier (CV).
+//!
+//! "The Cloud Verifier maintains the whitelist of trusted code and
+//! checks server integrity" (§5). It polls agents for quotes against
+//! fresh nonces, replays their boot and IMA logs, matches every
+//! measurement against tenant whitelists, releases the V key share on
+//! first success, and on any failure broadcasts a revocation so the rest
+//! of the enclave can cryptographically ban the node (§7.4: detection in
+//! under a second, full revocation in about three).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bolted_crypto::sha256::Digest;
+use bolted_sim::{channel, JoinHandle, Receiver, Sender, Sim, SimDuration, SimTime};
+use bolted_tpm::{index, PcrBank};
+
+use crate::agent::{Agent, AttestationEvidence};
+use crate::ima::ImaWhitelist;
+use crate::payload::KeyShare;
+use crate::registrar::Registrar;
+
+/// Timing and selection configuration for a verifier.
+#[derive(Debug, Clone)]
+pub struct VerifierConfig {
+    /// Continuous-attestation polling period.
+    pub poll_interval: SimDuration,
+    /// CPU time to verify one quote + replay logs (paper: "Keylime can
+    /// detect policy violations ... in under one second").
+    pub verify_cost: SimDuration,
+    /// Network round-trip between verifier and agent.
+    pub rtt: SimDuration,
+    /// Bandwidth for delivering the sealed payload — kernel + initrd
+    /// over the paper's unoptimised HTTP path ("obvious opportunities
+    /// include better download protocols than HTTP", §7.3 fn 8).
+    pub payload_bps: f64,
+    /// PCRs quoted during boot attestation.
+    pub boot_selection: Vec<usize>,
+    /// PCRs quoted during continuous attestation (adds IMA's PCR 10).
+    pub continuous_selection: Vec<usize>,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> Self {
+        VerifierConfig {
+            poll_interval: SimDuration::from_secs(2),
+            verify_cost: SimDuration::from_millis(150),
+            rtt: SimDuration::from_millis(5),
+            payload_bps: 6e6,
+            boot_selection: vec![index::FIRMWARE, index::BOOT_CODE, index::BOOT_CONFIG],
+            continuous_selection: vec![
+                index::FIRMWARE,
+                index::BOOT_CODE,
+                index::BOOT_CONFIG,
+                index::IMA,
+            ],
+        }
+    }
+}
+
+/// Result of one attestation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttestOutcome {
+    /// Everything matched the whitelists.
+    Trusted,
+    /// Verification failed; node is revoked.
+    Failed(String),
+}
+
+/// A revocation broadcast to enclave members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationEvent {
+    /// Node that failed attestation.
+    pub node_id: String,
+    /// Why.
+    pub reason: String,
+    /// When the verifier detected it.
+    pub detected_at: SimTime,
+}
+
+/// Per-node verifier status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Registered, not yet attested.
+    Pending,
+    /// Last attestation passed.
+    Trusted,
+    /// Attestation failed; revoked.
+    Failed(String),
+}
+
+struct NodeState {
+    agent: Agent,
+    boot_whitelist: HashSet<Digest>,
+    ima_whitelist: ImaWhitelist,
+    v_share: Option<KeyShare>,
+    sealed_payload: Vec<u8>,
+    /// Extra bytes (kernel + initrd) shipped alongside the sealed blob,
+    /// for delivery timing.
+    payload_wire_bytes: u64,
+    status: NodeStatus,
+    bootstrapped: bool,
+    quotes_verified: u64,
+    detected_at: Option<SimTime>,
+    stop: bool,
+}
+
+struct VerifierInner {
+    nodes: HashMap<String, NodeState>,
+    subscribers: Vec<Sender<RevocationEvent>>,
+    nonce_counter: u64,
+}
+
+/// The Cloud Verifier service (tenant-deployable).
+#[derive(Clone)]
+pub struct Verifier {
+    sim: Sim,
+    registrar: Registrar,
+    config: VerifierConfig,
+    inner: Rc<RefCell<VerifierInner>>,
+}
+
+impl Verifier {
+    /// Creates a verifier bound to a registrar.
+    pub fn new(sim: &Sim, registrar: &Registrar, config: VerifierConfig) -> Self {
+        Verifier {
+            sim: sim.clone(),
+            registrar: registrar.clone(),
+            config,
+            inner: Rc::new(RefCell::new(VerifierInner {
+                nodes: HashMap::new(),
+                subscribers: Vec::new(),
+                nonce_counter: 0,
+            })),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VerifierConfig {
+        &self.config
+    }
+
+    /// Registers a node for verification with its whitelists and (for
+    /// security-sensitive tenants) the V share + sealed payload to
+    /// release on first success.
+    pub fn add_node(
+        &self,
+        agent: &Agent,
+        boot_whitelist: HashSet<Digest>,
+        ima_whitelist: ImaWhitelist,
+        v_share: Option<KeyShare>,
+        sealed_payload: Vec<u8>,
+        payload_wire_bytes: u64,
+    ) {
+        self.inner.borrow_mut().nodes.insert(
+            agent.id().to_string(),
+            NodeState {
+                agent: agent.clone(),
+                boot_whitelist,
+                ima_whitelist,
+                v_share,
+                sealed_payload,
+                payload_wire_bytes,
+                status: NodeStatus::Pending,
+                bootstrapped: false,
+                quotes_verified: 0,
+                detected_at: None,
+                stop: false,
+            },
+        );
+    }
+
+    /// Subscribes to revocation broadcasts.
+    pub fn subscribe_revocations(&self) -> Receiver<RevocationEvent> {
+        let (tx, rx) = channel();
+        self.inner.borrow_mut().subscribers.push(tx);
+        rx
+    }
+
+    /// Current status of a node.
+    pub fn status(&self, node_id: &str) -> Option<NodeStatus> {
+        self.inner
+            .borrow()
+            .nodes
+            .get(node_id)
+            .map(|n| n.status.clone())
+    }
+
+    /// When the verifier first detected a violation on the node.
+    pub fn detected_at(&self, node_id: &str) -> Option<SimTime> {
+        self.inner.borrow().nodes.get(node_id)?.detected_at
+    }
+
+    /// Quotes successfully verified for a node so far.
+    pub fn quotes_verified(&self, node_id: &str) -> u64 {
+        self.inner
+            .borrow()
+            .nodes
+            .get(node_id)
+            .map_or(0, |n| n.quotes_verified)
+    }
+
+    fn fresh_nonce(&self) -> [u8; 32] {
+        let mut inner = self.inner.borrow_mut();
+        inner.nonce_counter += 1;
+        let d = bolted_crypto::sha256_concat(&[
+            b"cv-nonce",
+            &inner.nonce_counter.to_le_bytes(),
+            &self.sim.now().as_nanos().to_le_bytes(),
+        ]);
+        *d.as_bytes()
+    }
+
+    /// Verifies evidence against the node's whitelists (pure check, no
+    /// timing). Exposed for tests and custom tenant flows.
+    pub fn verify_evidence(
+        &self,
+        node_id: &str,
+        nonce: &[u8; 32],
+        selection: &[usize],
+        evidence: &AttestationEvidence,
+    ) -> Result<(), String> {
+        let inner = self.inner.borrow();
+        let node = inner.nodes.get(node_id).ok_or("unknown node")?;
+        // 1. The AIK must be certified by the registrar.
+        let aik = self
+            .registrar
+            .certified_aik(node_id)
+            .ok_or("AIK not certified by registrar")?;
+        // 2. Signature and freshness.
+        if !evidence.quote.verify(&aik) {
+            return Err("quote signature invalid".into());
+        }
+        if &evidence.quote.nonce != nonce {
+            return Err("stale nonce (replay?)".into());
+        }
+        if evidence.quote.selection != selection {
+            return Err("quote covers wrong PCR selection".into());
+        }
+        // 3. The supplied logs must replay to the quoted PCR values.
+        let boot_pcrs = evidence.boot_log.replay();
+        let expected = PcrBank::composite_of(selection, |i| {
+            if i == index::IMA {
+                evidence.ima_log.replay_pcr()
+            } else {
+                boot_pcrs[i]
+            }
+        });
+        if expected != evidence.quote.composite() {
+            return Err("event log does not replay to quoted PCRs".into());
+        }
+        // 4. Every boot measurement must be whitelisted.
+        for ev in evidence.boot_log.events() {
+            if ev.pcr_index != index::IMA && !node.boot_whitelist.contains(&ev.digest) {
+                return Err(format!("unapproved boot measurement: {}", ev.description));
+            }
+        }
+        // 5. Every IMA entry must be whitelisted (continuous only).
+        if selection.contains(&index::IMA) {
+            if let Err(v) = node.ima_whitelist.check(&evidence.ima_log) {
+                return Err(format!("IMA violation: {} ({})", v.path, v.digest));
+            }
+        }
+        Ok(())
+    }
+
+    async fn broadcast_revocation(&self, node_id: &str, reason: &str) {
+        let event = RevocationEvent {
+            node_id: node_id.to_string(),
+            reason: reason.to_string(),
+            detected_at: self.sim.now(),
+        };
+        // One notification RTT to reach subscribers (sent in parallel).
+        self.sim.sleep(self.config.rtt).await;
+        let subs: Vec<Sender<RevocationEvent>> = self.inner.borrow().subscribers.to_vec();
+        for tx in subs {
+            tx.send(event.clone());
+        }
+    }
+
+    /// Runs one attestation round against a node, charging quote,
+    /// network and verification time. `continuous` selects the PCR set.
+    pub async fn attest_once(&self, node_id: &str, continuous: bool) -> AttestOutcome {
+        let (agent, selection) = {
+            let inner = self.inner.borrow();
+            let Some(node) = inner.nodes.get(node_id) else {
+                return AttestOutcome::Failed("unknown node".into());
+            };
+            let sel = if continuous {
+                self.config.continuous_selection.clone()
+            } else {
+                self.config.boot_selection.clone()
+            };
+            (node.agent.clone(), sel)
+        };
+        let nonce = self.fresh_nonce();
+        self.sim.sleep(self.config.rtt).await;
+        let evidence = match agent.attest(&self.sim, nonce, &selection).await {
+            Ok(ev) => ev,
+            Err(e) => {
+                let reason = format!("agent error: {e}");
+                self.fail_node(node_id, &reason);
+                self.broadcast_revocation(node_id, &reason).await;
+                return AttestOutcome::Failed(reason);
+            }
+        };
+        self.sim.sleep(self.config.rtt).await;
+        self.sim.sleep(self.config.verify_cost).await;
+        match self.verify_evidence(node_id, &nonce, &selection, &evidence) {
+            Ok(()) => {
+                let deliver = {
+                    let mut inner = self.inner.borrow_mut();
+                    let node = inner.nodes.get_mut(node_id).expect("checked above");
+                    node.status = NodeStatus::Trusted;
+                    node.quotes_verified += 1;
+                    if !node.bootstrapped && node.v_share.is_some() {
+                        node.bootstrapped = true;
+                        Some((
+                            node.v_share.clone().expect("checked"),
+                            node.sealed_payload.clone(),
+                            node.payload_wire_bytes,
+                        ))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((v, sealed, wire)) = deliver {
+                    // Payload download (kernel + initrd dominate).
+                    let approx = sealed.len() as u64 + wire;
+                    let t = SimDuration::from_secs_f64(approx as f64 / self.config.payload_bps);
+                    self.sim.sleep(t + self.config.rtt).await;
+                    agent.deliver_v_and_payload(v, &sealed);
+                }
+                AttestOutcome::Trusted
+            }
+            Err(reason) => {
+                self.fail_node(node_id, &reason);
+                self.broadcast_revocation(node_id, &reason).await;
+                AttestOutcome::Failed(reason)
+            }
+        }
+    }
+
+    fn fail_node(&self, node_id: &str, reason: &str) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(node) = inner.nodes.get_mut(node_id) {
+            node.status = NodeStatus::Failed(reason.to_string());
+            if node.detected_at.is_none() {
+                node.detected_at = Some(self.sim.now());
+            }
+        }
+    }
+
+    /// Spawns the continuous-attestation loop for a node; it polls every
+    /// `poll_interval` until the node fails or [`Verifier::stop`] is
+    /// called. Returns the number of successful rounds.
+    pub fn spawn_continuous(&self, node_id: &str) -> JoinHandle<u64> {
+        let this = self.clone();
+        let node_id = node_id.to_string();
+        self.sim.spawn(async move {
+            let mut rounds = 0u64;
+            loop {
+                this.sim.sleep(this.config.poll_interval).await;
+                let stopped = {
+                    let inner = this.inner.borrow();
+                    inner.nodes.get(&node_id).is_none_or(|n| n.stop)
+                };
+                if stopped {
+                    break;
+                }
+                match this.attest_once(&node_id, true).await {
+                    AttestOutcome::Trusted => rounds += 1,
+                    AttestOutcome::Failed(_) => break,
+                }
+            }
+            rounds
+        })
+    }
+
+    /// Stops a node's continuous-attestation loop.
+    pub fn stop(&self, node_id: &str) {
+        if let Some(n) = self.inner.borrow_mut().nodes.get_mut(node_id) {
+            n.stop = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::agent_binary_digest;
+    use crate::payload::{split_key, TenantPayload};
+    use bolted_crypto::chacha20::Key;
+    use bolted_crypto::prime::XorShiftSource;
+    use bolted_firmware::{FirmwareKind, FirmwareSource, KernelImage, Machine};
+
+    struct Rig {
+        sim: Sim,
+        machine: Machine,
+        registrar: Registrar,
+        verifier: Verifier,
+        boot_whitelist: HashSet<Digest>,
+    }
+
+    fn rig() -> Rig {
+        let sim = Sim::new();
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "heads-1.0", b"src").build();
+        let machine = Machine::new("node-1", fw.clone(), 7, 512, 64);
+        machine.power_on();
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&sim, &registrar, VerifierConfig::default());
+        let mut boot_whitelist = HashSet::new();
+        boot_whitelist.insert(fw.build_id);
+        boot_whitelist.insert(agent_binary_digest());
+        Rig {
+            sim,
+            machine,
+            registrar,
+            verifier,
+            boot_whitelist,
+        }
+    }
+
+    async fn boot_and_register(r: &Rig) -> Agent {
+        r.machine.run_firmware(&r.sim).await.expect("boots");
+        r.machine
+            .measure_download("keylime-agent", agent_binary_digest())
+            .expect("measures");
+        let agent = Agent::start(&r.sim, "node-1", &r.machine).await;
+        let mut rng = XorShiftSource::new(11);
+        agent
+            .register(&r.sim, &r.registrar, &mut rng)
+            .await
+            .expect("registers");
+        agent
+    }
+
+    #[test]
+    fn clean_boot_attests_trusted() {
+        let r = rig();
+        let outcome = r.sim.block_on({
+            let (r2, v) = (r.machine.clone(), r.verifier.clone());
+            let sim = r.sim.clone();
+            let reg = r.registrar.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: r2,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                v.attest_once("node-1", false).await
+            }
+        });
+        assert_eq!(outcome, AttestOutcome::Trusted);
+        assert_eq!(r.verifier.status("node-1"), Some(NodeStatus::Trusted));
+    }
+
+    #[test]
+    fn tampered_firmware_rejected() {
+        let sim = Sim::new();
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "heads-1.0", b"src").build();
+        let evil_fw = fw.tampered(b"bootkit");
+        let machine = Machine::new("node-1", evil_fw, 7, 512, 64);
+        machine.power_on();
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&sim, &registrar, VerifierConfig::default());
+        let mut wl = HashSet::new();
+        wl.insert(fw.build_id); // tenant approves only the clean build
+        wl.insert(agent_binary_digest());
+        let outcome = sim.block_on({
+            let (sim2, m, reg, v) = (
+                sim.clone(),
+                machine.clone(),
+                registrar.clone(),
+                verifier.clone(),
+            );
+            async move {
+                m.run_firmware(&sim2).await.expect("boots");
+                m.measure_download("keylime-agent", agent_binary_digest())
+                    .expect("measures");
+                let agent = Agent::start(&sim2, "node-1", &m).await;
+                let mut rng = XorShiftSource::new(11);
+                agent
+                    .register(&sim2, &reg, &mut rng)
+                    .await
+                    .expect("registers");
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                v.attest_once("node-1", false).await
+            }
+        });
+        assert!(matches!(outcome, AttestOutcome::Failed(ref r) if r.contains("unapproved")));
+        assert!(verifier.detected_at("node-1").is_some());
+    }
+
+    #[test]
+    fn uncertified_aik_rejected() {
+        let r = rig();
+        let outcome = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                m.run_firmware(&sim).await.expect("boots");
+                let agent = Agent::start(&sim, "node-1", &m).await;
+                // Skip registration entirely.
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                v.attest_once("node-1", false).await
+            }
+        });
+        assert!(matches!(outcome, AttestOutcome::Failed(ref e) if e.contains("not certified")));
+    }
+
+    #[test]
+    fn successful_attestation_releases_payload() {
+        let r = rig();
+        let kernel = KernelImage::from_bytes("fedora", b"vmlinuz");
+        let k = Key([4u8; 32]);
+        let mut rng = XorShiftSource::new(2);
+        let (u, v_share) = split_key(&k, &mut rng);
+        let payload = TenantPayload {
+            kernel_name: kernel.name.clone(),
+            kernel_digest: kernel.digest,
+            kernel_size: 1 << 20,
+            cmdline: "quiet".into(),
+            luks_passphrase: b"pw".to_vec(),
+            ipsec_psk: b"psk".to_vec(),
+            script: "kexec".into(),
+        };
+        let sealed = payload.seal(&k);
+        let got = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                agent.deliver_u(u);
+                v.add_node(
+                    &agent,
+                    wl,
+                    ImaWhitelist::new(),
+                    Some(v_share),
+                    sealed,
+                    1 << 20,
+                );
+                let outcome = v.attest_once("node-1", false).await;
+                (outcome, agent.payload())
+            }
+        });
+        assert_eq!(got.0, AttestOutcome::Trusted);
+        let p = got.1.expect("payload delivered after attestation");
+        assert_eq!(p.luks_passphrase, b"pw");
+        assert_eq!(p.ipsec_psk, b"psk");
+    }
+
+    #[test]
+    fn continuous_attestation_detects_ima_violation() {
+        let r = rig();
+        let (rounds, detected, revocation) = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                let mut ima_wl = ImaWhitelist::new();
+                ima_wl.allow_content("/usr/bin/make", b"make");
+                v.add_node(&agent, wl, ima_wl, None, Vec::new(), 0);
+                let rx = v.subscribe_revocations();
+                let handle = v.spawn_continuous("node-1");
+                // Behave for a while, then run malware.
+                let sim2 = sim.clone();
+                let agent2 = agent.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_secs(10)).await;
+                    agent2.ima_measure("/usr/bin/make", b"make"); // fine
+                    sim2.sleep(SimDuration::from_secs(10)).await;
+                    agent2.ima_measure("/tmp/cryptominer", b"evil"); // not fine
+                });
+                let rounds = handle.await;
+                let detected = v.detected_at("node-1");
+                let ev = rx.recv().await;
+                (rounds, detected, ev)
+            }
+        });
+        assert!(rounds >= 3, "some clean rounds first, got {rounds}");
+        let detected = detected.expect("violation detected");
+        // Malware ran at t=20s (plus boot time offset); detection within
+        // one poll interval + verification time of the *next* quote.
+        let ev = revocation.expect("revocation broadcast");
+        assert_eq!(ev.node_id, "node-1");
+        assert!(ev.reason.contains("cryptominer"));
+        assert_eq!(ev.detected_at, detected);
+    }
+
+    #[test]
+    fn stopped_loop_ends_cleanly() {
+        let r = rig();
+        let rounds = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                let handle = v.spawn_continuous("node-1");
+                let sim2 = sim.clone();
+                let v2 = v.clone();
+                sim.spawn(async move {
+                    sim2.sleep(SimDuration::from_secs(9)).await;
+                    v2.stop("node-1");
+                });
+                handle.await
+            }
+        });
+        assert!(rounds >= 1);
+        assert_eq!(r.verifier.status("node-1"), Some(NodeStatus::Trusted));
+    }
+
+    #[test]
+    fn replayed_quote_rejected() {
+        let r = rig();
+        let err = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                // Capture evidence for an old nonce, then present it
+                // against a new nonce.
+                let sel = v.config().boot_selection.clone();
+                let old = agent.attest(&sim, [1; 32], &sel).await.expect("attests");
+                v.verify_evidence("node-1", &[2; 32], &sel, &old)
+                    .unwrap_err()
+            }
+        });
+        assert!(err.contains("stale nonce"), "got: {err}");
+    }
+
+    #[test]
+    fn forged_ima_log_rejected() {
+        // An attacker who strips entries from the IMA list cannot match
+        // the quoted PCR 10.
+        let r = rig();
+        let err = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                let mut ima_wl = ImaWhitelist::new();
+                ima_wl.allow_content("/usr/bin/ls", b"ls");
+                v.add_node(&agent, wl, ima_wl, None, Vec::new(), 0);
+                agent.ima_measure("/usr/bin/ls", b"ls");
+                agent.ima_measure("/tmp/evil", b"malware");
+                let sel = v.config().continuous_selection.clone();
+                let nonce = [3u8; 32];
+                let mut ev = agent.attest(&sim, nonce, &sel).await.expect("attests");
+                // Strip the incriminating entry.
+                let mut clean = crate::ima::ImaLog::new();
+                let mut scratch = bolted_tpm::Tpm::new(99, 512);
+                clean.measure(&mut scratch, "/usr/bin/ls", b"ls");
+                ev.ima_log = clean;
+                v.verify_evidence("node-1", &nonce, &sel, &ev).unwrap_err()
+            }
+        });
+        assert!(err.contains("does not replay"), "got: {err}");
+    }
+}
+
+#[cfg(test)]
+mod delivery_tests {
+    use super::*;
+    use crate::agent::{agent_binary_digest, Agent};
+    use crate::payload::{split_key, TenantPayload};
+    use bolted_crypto::chacha20::Key;
+    use bolted_crypto::prime::XorShiftSource;
+    use bolted_crypto::sha256::sha256;
+    use bolted_firmware::{FirmwareKind, FirmwareSource, Machine};
+
+    /// The V share and payload must be released exactly once, even across
+    /// repeated successful attestations (re-delivery would let a later
+    /// compromise re-fetch keys).
+    #[test]
+    fn payload_delivered_exactly_once() {
+        let sim = Sim::new();
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "v", b"src").build();
+        let machine = Machine::new("node-1", fw.clone(), 7, 512, 64);
+        machine.power_on();
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&sim, &registrar, VerifierConfig::default());
+        let mut wl = HashSet::new();
+        wl.insert(fw.build_id);
+        wl.insert(agent_binary_digest());
+        let outcomes = sim.block_on({
+            let (sim2, m, reg, v) = (
+                sim.clone(),
+                machine.clone(),
+                registrar.clone(),
+                verifier.clone(),
+            );
+            async move {
+                m.run_firmware(&sim2).await.expect("boots");
+                m.measure_download("keylime-agent", agent_binary_digest())
+                    .expect("measures");
+                let agent = Agent::start(&sim2, "node-1", &m).await;
+                let mut rng = XorShiftSource::new(11);
+                agent
+                    .register(&sim2, &reg, &mut rng)
+                    .await
+                    .expect("registers");
+                let k = Key([9u8; 32]);
+                let (u, v_share) = split_key(&k, &mut rng);
+                let payload = TenantPayload {
+                    kernel_name: "k".into(),
+                    kernel_digest: sha256(b"k"),
+                    kernel_size: 1,
+                    cmdline: String::new(),
+                    luks_passphrase: b"pw".to_vec(),
+                    ipsec_psk: Vec::new(),
+                    script: String::new(),
+                };
+                agent.deliver_u(u);
+                v.add_node(
+                    &agent,
+                    wl,
+                    ImaWhitelist::new(),
+                    Some(v_share),
+                    payload.seal(&k),
+                    0,
+                );
+                let first = v.attest_once("node-1", false).await;
+                let t_first = sim2.now();
+                let second = v.attest_once("node-1", false).await;
+                let t_second_elapsed = sim2.now().since(t_first);
+                (first, second, t_second_elapsed, agent.payload().is_some())
+            }
+        });
+        assert_eq!(outcomes.0, AttestOutcome::Trusted);
+        assert_eq!(outcomes.1, AttestOutcome::Trusted);
+        assert!(outcomes.3, "payload delivered on the first pass");
+        // Second round must not re-pay the payload delivery time: it is
+        // just quote + rtt + verify (well under 2 seconds).
+        assert!(
+            outcomes.2.as_secs_f64() < 2.0,
+            "second attestation re-delivered the payload: {}",
+            outcomes.2
+        );
+        assert_eq!(verifier.quotes_verified("node-1"), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be exactly reproducible, so it carries its own small
+//! PRNG rather than depending on an external crate: SplitMix64 for seeding
+//! and xoshiro256** as the workhorse generator (Blackman & Vigna, 2018).
+//! These generators are *not* cryptographically secure; the `bolted-crypto`
+//! crate derives key material from its own primitives.
+
+/// SplitMix64: used to expand a single `u64` seed into a full generator
+/// state. Passes through every 64-bit value exactly once over its period.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: fast, high-quality, 256-bit state general-purpose PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator with state expanded from `seed` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for limb in &mut s {
+            *limb = sm.next_u64();
+        }
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire's method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Rejection-free-in-expectation multiply-shift.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range_in requires lo < hi");
+        lo + self.gen_range(hi - lo)
+    }
+
+    /// Returns a uniform float in `[lo, hi)`.
+    pub fn gen_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Samples an exponentially distributed value with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF; 1 - U avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Samples a normally distributed value via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Samples a log-normally-ish "jitter" multiplier centred on 1.0.
+    ///
+    /// Used to perturb modeled service times; `cv` is the coefficient of
+    /// variation (e.g. 0.05 for ±5%-ish noise). Clamped to stay positive.
+    pub fn jitter(&mut self, cv: f64) -> f64 {
+        self.normal(1.0, cv).max(0.01)
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Forks an independent child generator, e.g. one per simulated node,
+    /// so that adding nodes does not perturb existing nodes' streams.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Seed 0 first output is a well-known constant.
+        assert_eq!(a, 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = r.gen_range(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_range_zero_panics() {
+        Rng::seed_from_u64(1).gen_range(0);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = Rng::seed_from_u64(13);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var was {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "should be shuffled");
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = Rng::seed_from_u64(19);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(23);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn jitter_stays_positive() {
+        let mut r = Rng::seed_from_u64(29);
+        for _ in 0..10_000 {
+            assert!(r.jitter(0.5) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Lightweight event tracing for simulated systems.
+//!
+//! Subsystems record `(time, category, message)` tuples into a shared
+//! [`Tracer`]; tests assert on the trace, and the examples print it as a
+//! human-readable boot log.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::executor::Sim;
+use crate::time::SimTime;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was recorded.
+    pub time: SimTime,
+    /// Subsystem category, e.g. `"hil"`, `"keylime"`, `"firmware"`.
+    pub category: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    echo: bool,
+}
+
+/// A shared, clonable event trace.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Rc<RefCell<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer.
+    pub fn new() -> Self {
+        let t = Tracer::default();
+        t.inner.borrow_mut().enabled = true;
+        t
+    }
+
+    /// Creates a tracer that drops all events (zero overhead paths).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// When set, every event is also printed to stdout as it happens
+    /// (useful in examples).
+    pub fn set_echo(&self, echo: bool) {
+        self.inner.borrow_mut().echo = echo;
+    }
+
+    /// Records an event at the simulation's current time.
+    pub fn record(&self, sim: &Sim, category: &str, message: impl Into<String>) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        let ev = TraceEvent {
+            time: sim.now(),
+            category: category.to_string(),
+            message: message.into(),
+        };
+        if inner.echo {
+            println!(
+                "[{:>12}] {:<10} {}",
+                format!("{}", ev.time),
+                ev.category,
+                ev.message
+            );
+        }
+        inner.events.push(ev);
+    }
+
+    /// Returns a copy of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the messages of every event in `category`, in order.
+    pub fn messages_in(&self, category: &str) -> Vec<String> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .map(|e| e.message.clone())
+            .collect()
+    }
+
+    /// True if any event message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .any(|e| e.message.contains(needle))
+    }
+
+    /// Renders the whole trace as a multi-line log string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.inner.borrow().events.iter() {
+            let _ = writeln!(
+                out,
+                "[{:>12}] {:<10} {}",
+                format!("{}", e.time),
+                e.category,
+                e.message
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn records_with_timestamps() {
+        let sim = Sim::new();
+        let tr = Tracer::new();
+        let (sim2, tr2) = (sim.clone(), tr.clone());
+        sim.block_on(async move {
+            tr2.record(&sim2, "boot", "POST start");
+            sim2.sleep(SimDuration::from_secs(40)).await;
+            tr2.record(&sim2, "boot", "POST done");
+        });
+        let evs = tr.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].time, SimTime::ZERO);
+        assert_eq!(evs[1].time.as_secs_f64(), 40.0);
+        assert!(tr.contains("POST done"));
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let sim = Sim::new();
+        let tr = Tracer::disabled();
+        tr.record(&sim, "x", "dropped");
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn category_filter() {
+        let sim = Sim::new();
+        let tr = Tracer::new();
+        tr.record(&sim, "hil", "allocate n1");
+        tr.record(&sim, "keylime", "quote ok");
+        tr.record(&sim, "hil", "attach vlan 100");
+        assert_eq!(
+            tr.messages_in("hil"),
+            vec!["allocate n1".to_string(), "attach vlan 100".to_string()]
+        );
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let sim = Sim::new();
+        let tr = Tracer::new();
+        tr.record(&sim, "a", "one");
+        tr.record(&sim, "b", "two");
+        let out = tr.render();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("one") && out.contains("two"));
+    }
+}

@@ -1,0 +1,835 @@
+//! A Ceph-like replicated object store.
+//!
+//! Matches the paper's storage backend (§7.1): 3 OSD hosts, 27 spindles
+//! total, 4 MiB objects, 3× replication. Reads hit the primary replica's
+//! spindle; writes fan out to every replica in parallel. Contention —
+//! the source of Figure 5's knee at 16 concurrent boots on "the small
+//! scale Ceph deployment (with only 27 disks)" — emerges from the
+//! per-spindle FIFO queues, not from any baked-in constant.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use bolted_crypto::sha256::{sha256, sha256_concat, Digest};
+use bolted_sim::{join_all, Resource, Sim, SimDuration};
+
+/// Default object size: Ceph's 4 MiB.
+pub const OBJECT_SIZE: u64 = 4 * 1024 * 1024;
+
+/// Identifies a logical image/volume in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImageId(pub u64);
+
+/// Identifies one object (a stripe of an image).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectKey {
+    /// Owning image.
+    pub image: ImageId,
+    /// Stripe index within the image.
+    pub index: u64,
+}
+
+/// Mechanical disk model for one spindle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average positioning time per request.
+    pub seek: SimDuration,
+    /// Sustained transfer rate, bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl DiskModel {
+    /// A 7200 rpm nearline SAS spindle, as in the paper's OSD hosts.
+    pub fn hdd() -> Self {
+        DiskModel {
+            seek: SimDuration::from_millis(4),
+            bandwidth_bps: 180e6,
+        }
+    }
+
+    /// Service time for one request of `len` bytes.
+    pub fn service_time(&self, len: u64) -> SimDuration {
+        self.seek + SimDuration::from_secs_f64(len as f64 / self.bandwidth_bps)
+    }
+}
+
+/// How an object's baseline content is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// Reads return zeros.
+    Zero,
+    /// Reads return a deterministic pseudo-random pattern (lets multi-GiB
+    /// golden images exist without resident memory).
+    Pattern(u64),
+}
+
+struct StoredObject {
+    backing: Backing,
+    /// Materialised bytes; present once the object has been written.
+    data: Option<Vec<u8>>,
+    /// Checksum of `data`, maintained on every write (Ceph keeps per-
+    /// object checksums for exactly this purpose).
+    checksum: Option<bolted_crypto::sha256::Digest>,
+}
+
+struct ClusterInner {
+    objects: HashMap<ObjectKey, StoredObject>,
+    object_size: u64,
+    osd_count: usize,
+    failed_osds: HashSet<usize>,
+    bytes_read: u64,
+    bytes_written: u64,
+    requests: u64,
+    degraded_writes: u64,
+}
+
+/// Handle to the object store.
+#[derive(Clone)]
+pub struct Cluster {
+    sim: Sim,
+    inner: Rc<RefCell<ClusterInner>>,
+    /// One FIFO resource per spindle, grouped by OSD.
+    spindles: Rc<Vec<Resource>>,
+    spindles_per_osd: usize,
+    disk: DiskModel,
+    replicas: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster with the paper's topology: 3 OSDs × 9 spindles.
+    pub fn paper_default(sim: &Sim) -> Self {
+        Self::new(sim, 3, 9, DiskModel::hdd(), 3)
+    }
+
+    /// Builds a cluster with explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `replicas > osd_count`.
+    pub fn new(
+        sim: &Sim,
+        osd_count: usize,
+        spindles_per_osd: usize,
+        disk: DiskModel,
+        replicas: usize,
+    ) -> Self {
+        assert!(osd_count > 0 && spindles_per_osd > 0, "empty cluster");
+        assert!(replicas >= 1 && replicas <= osd_count, "bad replica count");
+        let spindles = (0..osd_count * spindles_per_osd)
+            .map(|_| Resource::new(sim, 1))
+            .collect();
+        Cluster {
+            sim: sim.clone(),
+            inner: Rc::new(RefCell::new(ClusterInner {
+                objects: HashMap::new(),
+                object_size: OBJECT_SIZE,
+                osd_count,
+                failed_osds: HashSet::new(),
+                bytes_read: 0,
+                bytes_written: 0,
+                requests: 0,
+                degraded_writes: 0,
+            })),
+            spindles: Rc::new(spindles),
+            spindles_per_osd,
+            disk,
+            replicas,
+        }
+    }
+
+    /// Object size in bytes.
+    pub fn object_size(&self) -> u64 {
+        self.inner.borrow().object_size
+    }
+
+    /// Total spindle count.
+    pub fn spindle_count(&self) -> usize {
+        self.spindles.len()
+    }
+
+    /// `(bytes_read, bytes_written, requests)` served so far.
+    pub fn io_stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.borrow();
+        (inner.bytes_read, inner.bytes_written, inner.requests)
+    }
+
+    /// Marks an OSD down: placement routes around it (Ceph's CRUSH
+    /// remapping) until [`Cluster::recover_osd`].
+    pub fn fail_osd(&self, osd: usize) {
+        self.inner.borrow_mut().failed_osds.insert(osd);
+    }
+
+    /// Brings a failed OSD back into the placement set.
+    pub fn recover_osd(&self, osd: usize) {
+        self.inner.borrow_mut().failed_osds.remove(&osd);
+    }
+
+    /// True if at least one replica location of `key` is serviceable.
+    pub fn is_available(&self, key: ObjectKey) -> bool {
+        !self.placement(key).is_empty()
+    }
+
+    /// Writes that completed with fewer than the configured replica count
+    /// because of failed OSDs.
+    pub fn degraded_writes(&self) -> u64 {
+        self.inner.borrow().degraded_writes
+    }
+
+    /// Rendezvous-hash placement: returns the live OSD ids holding `key`,
+    /// with the primary first. Failed OSDs are skipped, so placement
+    /// degrades gracefully (and may return fewer than `replicas`, or be
+    /// empty when everything is down).
+    pub fn placement(&self, key: ObjectKey) -> Vec<usize> {
+        let (osd_count, failed) = {
+            let inner = self.inner.borrow();
+            (inner.osd_count, inner.failed_osds.clone())
+        };
+        let mut scored: Vec<(u64, usize)> = (0..osd_count)
+            .filter(|osd| !failed.contains(osd))
+            .map(|osd| {
+                let d = sha256_concat(&[
+                    &key.image.0.to_le_bytes(),
+                    &key.index.to_le_bytes(),
+                    &(osd as u64).to_le_bytes(),
+                ]);
+                let mut s = [0u8; 8];
+                s.copy_from_slice(&d.as_bytes()[..8]);
+                (u64::from_le_bytes(s), osd)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored
+            .into_iter()
+            .take(self.replicas)
+            .map(|(_, osd)| osd)
+            .collect()
+    }
+
+    fn spindle_for(&self, key: ObjectKey, osd: usize) -> Resource {
+        let d = sha256_concat(&[
+            &key.image.0.to_le_bytes(),
+            &key.index.to_le_bytes(),
+            b"spindle",
+        ]);
+        let idx = (d.as_bytes()[0] as usize) % self.spindles_per_osd;
+        self.spindles[osd * self.spindles_per_osd + idx].clone()
+    }
+
+    /// Declares an object's baseline content (no timing cost; this is
+    /// image creation metadata, not data-path I/O).
+    pub fn set_backing(&self, key: ObjectKey, backing: Backing) {
+        let mut inner = self.inner.borrow_mut();
+        let entry = inner.objects.entry(key).or_insert(StoredObject {
+            backing,
+            data: None,
+            checksum: None,
+        });
+        entry.backing = backing;
+    }
+
+    /// Removes an object entirely.
+    pub fn delete_object(&self, key: ObjectKey) {
+        self.inner.borrow_mut().objects.remove(&key);
+    }
+
+    /// Removes every object belonging to `image`.
+    pub fn delete_image_objects(&self, image: ImageId) {
+        self.inner
+            .borrow_mut()
+            .objects
+            .retain(|k, _| k.image != image);
+    }
+
+    /// True if the object has been explicitly created (backing or data).
+    pub fn exists(&self, key: ObjectKey) -> bool {
+        self.inner.borrow().objects.contains_key(&key)
+    }
+
+    fn generate(&self, key: ObjectKey, backing: Backing, off: u64, len: usize) -> Vec<u8> {
+        match backing {
+            Backing::Zero => vec![0; len],
+            Backing::Pattern(seed) => {
+                let mut out = Vec::with_capacity(len);
+                let mut i = off;
+                while out.len() < len {
+                    let word = sha256_concat(&[
+                        &seed.to_le_bytes(),
+                        &key.index.to_le_bytes(),
+                        &(i / 32).to_le_bytes(),
+                    ]);
+                    let start = (i % 32) as usize;
+                    let take = (len - out.len()).min(32 - start);
+                    out.extend_from_slice(&word.as_bytes()[start..start + take]);
+                    i += take as u64;
+                }
+                out
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `off` within the object, charging primary
+    /// spindle time. Returns the data (zeros/pattern when unmaterialised).
+    pub async fn read_object(&self, key: ObjectKey, off: u64, len: usize) -> Vec<u8> {
+        self.charge_read(key, len as u64).await;
+        self.peek_object(key, off, len)
+    }
+
+    /// Returns object bytes with **no** timing charge — used by gateways
+    /// serving from their read-ahead cache.
+    pub fn peek_object(&self, key: ObjectKey, off: u64, len: usize) -> Vec<u8> {
+        enum Src {
+            Bytes(Vec<u8>),
+            Generate(Backing),
+            Absent,
+        }
+        let src = {
+            let inner = self.inner.borrow();
+            match inner.objects.get(&key) {
+                Some(obj) => match &obj.data {
+                    Some(data) => {
+                        let end = ((off as usize) + len).min(data.len());
+                        let start = (off as usize).min(end);
+                        let mut out = data[start..end].to_vec();
+                        out.resize(len, 0);
+                        Src::Bytes(out)
+                    }
+                    None => Src::Generate(obj.backing),
+                },
+                None => Src::Absent,
+            }
+        };
+        match src {
+            Src::Bytes(b) => b,
+            Src::Generate(backing) => self.generate(key, backing, off, len),
+            Src::Absent => vec![0; len],
+        }
+    }
+
+    /// Writes bytes at `off` within the object, charging all replica
+    /// spindles in parallel; materialises the object on first write.
+    pub async fn write_object(&self, key: ObjectKey, off: u64, data: &[u8]) {
+        self.charge_write(key, data.len() as u64).await;
+        let object_size = self.object_size() as usize;
+        // Materialise the object (expanding its backing) on first write.
+        let need_backing = {
+            let mut inner = self.inner.borrow_mut();
+            let entry = inner.objects.entry(key).or_insert(StoredObject {
+                backing: Backing::Zero,
+                data: None,
+                checksum: None,
+            });
+            if entry.data.is_none() {
+                Some(entry.backing)
+            } else {
+                None
+            }
+        };
+        if let Some(backing) = need_backing {
+            let base = self.generate(key, backing, 0, object_size);
+            self.inner
+                .borrow_mut()
+                .objects
+                .get_mut(&key)
+                .expect("inserted above")
+                .data = Some(base);
+        }
+        let mut inner = self.inner.borrow_mut();
+        let obj = inner.objects.get_mut(&key).expect("exists");
+        let buf = obj.data.as_mut().expect("materialised above");
+        let end = ((off as usize) + data.len()).min(object_size);
+        let start = (off as usize).min(end);
+        buf[start..end].copy_from_slice(&data[..end - start]);
+        obj.checksum = Some(sha256(buf));
+    }
+
+    /// Test/fault-injection hook: flips a byte of a materialised object
+    /// *without* updating its checksum, modelling silent media corruption.
+    pub fn corrupt_object(&self, key: ObjectKey, offset: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        match inner.objects.get_mut(&key).and_then(|o| o.data.as_mut()) {
+            Some(data) if offset < data.len() => {
+                data[offset] ^= 0xFF;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ceph-style deep scrub: re-reads every materialised object (with
+    /// timing) and verifies its checksum. Returns the corrupted keys.
+    pub async fn deep_scrub(&self) -> Vec<ObjectKey> {
+        let keys: Vec<(ObjectKey, usize)> = {
+            let inner = self.inner.borrow();
+            inner
+                .objects
+                .iter()
+                .filter_map(|(k, o)| o.data.as_ref().map(|d| (*k, d.len())))
+                .collect()
+        };
+        let mut corrupted = Vec::new();
+        for (key, len) in keys {
+            self.charge_read(key, len as u64).await;
+            let inner = self.inner.borrow();
+            if let Some(obj) = inner.objects.get(&key) {
+                if let (Some(data), Some(sum)) = (&obj.data, &obj.checksum) {
+                    if sha256(data) != *sum {
+                        corrupted.push(key);
+                    }
+                }
+            }
+        }
+        corrupted
+    }
+
+    /// Checksum of a materialised object, if any.
+    pub fn object_checksum(&self, key: ObjectKey) -> Option<Digest> {
+        self.inner.borrow().objects.get(&key)?.checksum
+    }
+
+    /// Charges the time of a read without touching data — the fast path
+    /// for workload models that only need timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every replica's OSD has failed (check
+    /// [`Cluster::is_available`] in failure-injection scenarios).
+    pub async fn charge_read(&self, key: ObjectKey, len: u64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.bytes_read += len;
+            inner.requests += 1;
+        }
+        let placement = self.placement(key);
+        let primary = *placement
+            .first()
+            .expect("no live replica for object (all OSDs failed)");
+        let spindle = self.spindle_for(key, primary);
+        spindle.visit(self.disk.service_time(len)).await;
+    }
+
+    /// Charges the time of a replicated write without touching data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every replica's OSD has failed.
+    pub async fn charge_write(&self, key: ObjectKey, len: u64) {
+        let osds = self.placement(key);
+        assert!(
+            !osds.is_empty(),
+            "no live replica for object (all OSDs failed)"
+        );
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.bytes_written += len;
+            inner.requests += 1;
+            if osds.len() < self.replicas {
+                inner.degraded_writes += 1;
+            }
+        }
+        let service = self.disk.service_time(len);
+        let handles: Vec<_> = osds
+            .into_iter()
+            .map(|osd| {
+                let spindle = self.spindle_for(key, osd);
+                self.sim.spawn(async move { spindle.visit(service).await })
+            })
+            .collect();
+        join_all(handles).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> (Sim, Cluster) {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        (sim, c)
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spread() {
+        let (_sim, c) = cluster();
+        let k1 = ObjectKey {
+            image: ImageId(1),
+            index: 0,
+        };
+        assert_eq!(c.placement(k1), c.placement(k1));
+        assert_eq!(c.placement(k1).len(), 3);
+        // Primaries should spread across OSDs over many objects.
+        let mut primaries = [0u32; 3];
+        for i in 0..300 {
+            let k = ObjectKey {
+                image: ImageId(7),
+                index: i,
+            };
+            primaries[c.placement(k)[0]] += 1;
+        }
+        for (osd, n) in primaries.iter().enumerate() {
+            assert!(*n > 50, "osd {osd} got {n}/300 primaries");
+        }
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(1),
+            index: 3,
+        };
+        let got = sim.block_on({
+            let c = c.clone();
+            async move {
+                c.write_object(k, 100, b"bolted image data").await;
+                c.read_object(k, 100, 17).await
+            }
+        });
+        assert_eq!(got, b"bolted image data");
+    }
+
+    #[test]
+    fn unwritten_object_reads_zeros() {
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(9),
+            index: 0,
+        };
+        let got = sim.block_on({
+            let c = c.clone();
+            async move { c.read_object(k, 0, 64).await }
+        });
+        assert_eq!(got, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn pattern_backing_is_deterministic_and_nonzero() {
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(2),
+            index: 5,
+        };
+        c.set_backing(k, Backing::Pattern(42));
+        let (a, b, shifted) = sim.block_on({
+            let c = c.clone();
+            async move {
+                let a = c.read_object(k, 0, 128).await;
+                let b = c.read_object(k, 0, 128).await;
+                let shifted = c.read_object(k, 64, 64).await;
+                (a, b, shifted)
+            }
+        });
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+        assert_eq!(&a[64..], &shifted[..], "offset reads are consistent");
+    }
+
+    #[test]
+    fn write_overlays_pattern() {
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(3),
+            index: 0,
+        };
+        c.set_backing(k, Backing::Pattern(7));
+        let got = sim.block_on({
+            let c = c.clone();
+            async move {
+                let before = c.read_object(k, 0, 16).await;
+                c.write_object(k, 4, b"XYZ").await;
+                let after = c.read_object(k, 0, 16).await;
+                (before, after)
+            }
+        });
+        let (before, after) = got;
+        assert_eq!(&after[4..7], b"XYZ");
+        assert_eq!(after[..4], before[..4], "pattern preserved around write");
+        assert_eq!(after[7..], before[7..]);
+    }
+
+    #[test]
+    fn read_time_includes_seek_and_transfer() {
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(1),
+            index: 0,
+        };
+        sim.block_on({
+            let c = c.clone();
+            async move { c.charge_read(k, OBJECT_SIZE).await }
+        });
+        let secs = sim.now().as_secs_f64();
+        // 4 ms seek + 4 MiB / 180 MB/s ≈ 27 ms.
+        assert!((0.02..0.04).contains(&secs), "read took {secs}s");
+    }
+
+    #[test]
+    fn writes_replicate_but_run_parallel() {
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(1),
+            index: 0,
+        };
+        sim.block_on({
+            let c = c.clone();
+            async move { c.charge_write(k, OBJECT_SIZE).await }
+        });
+        let secs = sim.now().as_secs_f64();
+        // Parallel across replicas: ~ one service time, not three.
+        assert!((0.02..0.05).contains(&secs), "write took {secs}s");
+        let (_, written, _) = c.io_stats();
+        assert_eq!(written, OBJECT_SIZE);
+    }
+
+    #[test]
+    fn contention_emerges_from_spindle_queues() {
+        // Many concurrent readers of the SAME object must serialise on its
+        // primary spindle.
+        let (sim, c) = cluster();
+        let k = ObjectKey {
+            image: ImageId(1),
+            index: 0,
+        };
+        for _ in 0..8 {
+            let c2 = c.clone();
+            sim.spawn(async move { c2.charge_read(k, OBJECT_SIZE).await });
+        }
+        sim.run();
+        let serial = sim.now().as_secs_f64();
+        assert!(serial > 0.15, "8 serialized reads took {serial}s");
+
+        // Readers of DIFFERENT objects mostly parallelise.
+        let sim2 = Sim::new();
+        let c2 = Cluster::paper_default(&sim2);
+        for i in 0..8 {
+            let c3 = c2.clone();
+            sim2.spawn(async move {
+                c3.charge_read(
+                    ObjectKey {
+                        image: ImageId(50 + i),
+                        index: i,
+                    },
+                    OBJECT_SIZE,
+                )
+                .await
+            });
+        }
+        sim2.run();
+        assert!(
+            sim2.now().as_secs_f64() < serial / 2.0,
+            "spread reads took {}s vs serial {serial}s",
+            sim2.now().as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn delete_image_objects_removes_all() {
+        let (sim, c) = cluster();
+        sim.block_on({
+            let c = c.clone();
+            async move {
+                for i in 0..4 {
+                    c.write_object(
+                        ObjectKey {
+                            image: ImageId(5),
+                            index: i,
+                        },
+                        0,
+                        b"data",
+                    )
+                    .await;
+                }
+            }
+        });
+        assert!(c.exists(ObjectKey {
+            image: ImageId(5),
+            index: 2
+        }));
+        c.delete_image_objects(ImageId(5));
+        for i in 0..4 {
+            assert!(!c.exists(ObjectKey {
+                image: ImageId(5),
+                index: i
+            }));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad replica count")]
+    fn replicas_cannot_exceed_osds() {
+        let sim = Sim::new();
+        Cluster::new(&sim, 2, 4, DiskModel::hdd(), 3);
+    }
+}
+
+#[cfg(test)]
+mod scrub_tests {
+    use super::*;
+
+    #[test]
+    fn deep_scrub_clean_cluster_finds_nothing() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        let corrupted = sim.block_on({
+            let c = c.clone();
+            async move {
+                for i in 0..4 {
+                    c.write_object(
+                        ObjectKey {
+                            image: ImageId(1),
+                            index: i,
+                        },
+                        0,
+                        b"healthy data",
+                    )
+                    .await;
+                }
+                c.deep_scrub().await
+            }
+        });
+        assert!(corrupted.is_empty());
+    }
+
+    #[test]
+    fn deep_scrub_detects_silent_corruption() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        let key = ObjectKey {
+            image: ImageId(1),
+            index: 2,
+        };
+        let corrupted = sim.block_on({
+            let c = c.clone();
+            async move {
+                c.write_object(key, 0, b"data").await;
+                c.write_object(
+                    ObjectKey {
+                        image: ImageId(1),
+                        index: 3,
+                    },
+                    0,
+                    b"other",
+                )
+                .await;
+                assert!(c.corrupt_object(key, 100));
+                c.deep_scrub().await
+            }
+        });
+        assert_eq!(corrupted, vec![key]);
+    }
+
+    #[test]
+    fn checksum_tracks_writes() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        let key = ObjectKey {
+            image: ImageId(5),
+            index: 0,
+        };
+        sim.block_on({
+            let c = c.clone();
+            async move {
+                c.write_object(key, 0, b"v1").await;
+                let sum1 = c.object_checksum(key).expect("present");
+                c.write_object(key, 0, b"v2").await;
+                let sum2 = c.object_checksum(key).expect("present");
+                assert_ne!(sum1, sum2);
+            }
+        });
+    }
+
+    #[test]
+    fn corrupt_object_rejects_unmaterialised() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        assert!(!c.corrupt_object(
+            ObjectKey {
+                image: ImageId(9),
+                index: 9
+            },
+            0
+        ));
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    #[test]
+    fn placement_routes_around_failed_osd() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        let key = ObjectKey {
+            image: ImageId(1),
+            index: 0,
+        };
+        let healthy = c.placement(key);
+        assert_eq!(healthy.len(), 3);
+        c.fail_osd(healthy[0]);
+        let degraded = c.placement(key);
+        assert!(!degraded.contains(&healthy[0]));
+        assert_eq!(degraded.len(), 2, "3 OSDs, 1 down, 3 replicas wanted");
+        c.recover_osd(healthy[0]);
+        assert_eq!(c.placement(key), healthy);
+    }
+
+    #[test]
+    fn reads_survive_single_osd_failure() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        let key = ObjectKey {
+            image: ImageId(2),
+            index: 7,
+        };
+        let got = sim.block_on({
+            let c = c.clone();
+            async move {
+                c.write_object(key, 0, b"replicated data").await;
+                let primary = c.placement(key)[0];
+                c.fail_osd(primary);
+                c.read_object(key, 0, 15).await
+            }
+        });
+        assert_eq!(got, b"replicated data");
+    }
+
+    #[test]
+    fn degraded_writes_counted() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        c.fail_osd(0);
+        sim.block_on({
+            let c = c.clone();
+            async move {
+                c.charge_write(
+                    ObjectKey {
+                        image: ImageId(3),
+                        index: 0,
+                    },
+                    1 << 20,
+                )
+                .await;
+            }
+        });
+        assert_eq!(c.degraded_writes(), 1);
+    }
+
+    #[test]
+    fn availability_reflects_total_failure() {
+        let sim = Sim::new();
+        let c = Cluster::paper_default(&sim);
+        let key = ObjectKey {
+            image: ImageId(4),
+            index: 0,
+        };
+        assert!(c.is_available(key));
+        for osd in 0..3 {
+            c.fail_osd(osd);
+        }
+        assert!(!c.is_available(key));
+        c.recover_osd(1);
+        assert!(c.is_available(key));
+    }
+}

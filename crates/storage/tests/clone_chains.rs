@@ -1,0 +1,129 @@
+//! Image-store integration: multi-level copy-on-write chains and
+//! lifecycle ordering, as BMI drives them.
+
+use bolted_sim::Sim;
+use bolted_storage::{Backing, Cluster, ImageError, ImageStore};
+
+fn store() -> (Sim, ImageStore) {
+    let sim = Sim::new();
+    let c = Cluster::paper_default(&sim);
+    (sim, ImageStore::new(&c))
+}
+
+#[test]
+fn two_level_clone_chain_reads_through() {
+    let (sim, s) = store();
+    sim.block_on({
+        let s = s.clone();
+        async move {
+            let golden = s
+                .create("golden", 16 << 20, Backing::Zero)
+                .expect("creates");
+            s.write_at(golden, 0, b"layer-0 content")
+                .await
+                .expect("writes");
+            s.snapshot(golden).expect("freezes");
+            let c1 = s.clone_image(golden, "c1").expect("clones");
+            // c1 diverges at offset 100 only.
+            s.write_at(c1, 100, b"layer-1 delta").await.expect("writes");
+            s.snapshot(c1).expect("freezes");
+            let c2 = s.clone_image(c1, "c2").expect("clones");
+            // c2 sees golden's base AND c1's delta.
+            let base = s.read_at(c2, 0, 15, true).await.expect("reads");
+            assert_eq!(base, b"layer-0 content");
+            let delta = s.read_at(c2, 100, 13, true).await.expect("reads");
+            assert_eq!(delta, b"layer-1 delta");
+            // c2's own writes stay in c2.
+            s.write_at(c2, 200, b"layer-2").await.expect("writes");
+            let c1_at_200 = s.read_at(c1, 200, 7, true).await.expect("reads");
+            assert_eq!(c1_at_200, vec![0u8; 7], "parent untouched");
+        }
+    });
+}
+
+#[test]
+fn cow_copy_up_preserves_surrounding_bytes() {
+    let (sim, s) = store();
+    sim.block_on({
+        let s = s.clone();
+        async move {
+            let golden = s
+                .create("golden", 16 << 20, Backing::Pattern(3))
+                .expect("creates");
+            s.snapshot(golden).expect("freezes");
+            let child = s.clone_image(golden, "child").expect("clones");
+            let before = s.read_at(child, 0, 64, true).await.expect("reads");
+            // Small write in the middle of the object: copy-up must keep
+            // every other byte identical to the parent's pattern.
+            s.write_at(child, 16, b"XX").await.expect("writes");
+            let after = s.read_at(child, 0, 64, true).await.expect("reads");
+            assert_eq!(&after[..16], &before[..16]);
+            assert_eq!(&after[16..18], b"XX");
+            assert_eq!(&after[18..], &before[18..]);
+        }
+    });
+}
+
+#[test]
+fn deletion_order_is_enforced_bottom_up() {
+    let (_sim, s) = store();
+    let golden = s.create("golden", 8 << 20, Backing::Zero).expect("creates");
+    s.snapshot(golden).expect("freezes");
+    let c1 = s.clone_image(golden, "c1").expect("clones");
+    s.snapshot(c1).expect("freezes");
+    let c2 = s.clone_image(c1, "c2").expect("clones");
+    assert_eq!(s.delete(golden), Err(ImageError::HasChildren));
+    assert_eq!(s.delete(c1), Err(ImageError::HasChildren));
+    s.delete(c2).expect("leaf first");
+    s.delete(c1).expect("then middle");
+    s.delete(golden).expect("then root");
+}
+
+#[test]
+fn many_siblings_share_one_parent_without_interference() {
+    let (sim, s) = store();
+    sim.block_on({
+        let s = s.clone();
+        async move {
+            let golden = s
+                .create("golden", 32 << 20, Backing::Pattern(5))
+                .expect("creates");
+            s.snapshot(golden).expect("freezes");
+            let clones: Vec<_> = (0..8)
+                .map(|i| s.clone_image(golden, format!("s{i}")).expect("clones"))
+                .collect();
+            for (i, &c) in clones.iter().enumerate() {
+                s.write_at(c, 0, format!("tenant-{i}").as_bytes())
+                    .await
+                    .expect("writes");
+            }
+            for (i, &c) in clones.iter().enumerate() {
+                let got = s.read_at(c, 0, 8, true).await.expect("reads");
+                assert_eq!(got, format!("tenant-{i}").as_bytes());
+            }
+        }
+    });
+}
+
+#[test]
+fn timing_accumulates_along_the_chain() {
+    // A read that falls through two COW levels costs one cluster read,
+    // not zero and not three: resolution happens at metadata level.
+    let (sim, s) = store();
+    sim.block_on({
+        let s = s.clone();
+        async move {
+            let golden = s
+                .create("g", 8 << 20, Backing::Pattern(1))
+                .expect("creates");
+            s.snapshot(golden).expect("freezes");
+            let c1 = s.clone_image(golden, "c1").expect("clones");
+            s.snapshot(c1).expect("freezes");
+            let c2 = s.clone_image(c1, "c2").expect("clones");
+            let (_, _, before_reqs) = s.cluster().io_stats();
+            s.read_at(c2, 0, 4096, true).await.expect("reads");
+            let (_, _, after_reqs) = s.cluster().io_stats();
+            assert_eq!(after_reqs - before_reqs, 1, "one backend request");
+        }
+    });
+}

@@ -1,0 +1,196 @@
+//! Platform Configuration Registers (PCRs).
+//!
+//! A PCR can only be *extended*: `PCR ← SHA-256(PCR ‖ measurement)`.
+//! This forces any software that runs before the OS to leave an
+//! irreversible fingerprint, which is the foundation of measured boot.
+
+use bolted_crypto::sha256::{Digest, Sha256};
+
+/// Number of PCRs in the bank (matching TPM 1.2/2.0 conventions).
+pub const NUM_PCRS: usize = 24;
+
+/// Conventional PCR allocation used by the Bolted boot chain.
+pub mod index {
+    /// Core root of trust + firmware (BIOS/UEFI or LinuxBoot).
+    pub const FIRMWARE: usize = 0;
+    /// Firmware configuration.
+    pub const FIRMWARE_CONFIG: usize = 1;
+    /// Option ROMs / downloaded boot code (iPXE payloads land here).
+    pub const BOOT_CODE: usize = 4;
+    /// Boot loader configuration and kexec targets.
+    pub const BOOT_CONFIG: usize = 5;
+    /// The Linux IMA measurement list aggregate.
+    pub const IMA: usize = 10;
+}
+
+/// A bank of SHA-256 PCRs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrBank {
+    pcrs: [Digest; NUM_PCRS],
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// Creates a bank with all PCRs at their reset value (all zeros).
+    pub fn new() -> Self {
+        PcrBank {
+            pcrs: [Digest::ZERO; NUM_PCRS],
+        }
+    }
+
+    /// Resets every PCR to zero — happens only on platform reset
+    /// (power cycle), never under software control.
+    pub fn reset(&mut self) {
+        self.pcrs = [Digest::ZERO; NUM_PCRS];
+    }
+
+    /// Extends PCR `idx` with `measurement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_PCRS`.
+    pub fn extend(&mut self, idx: usize, measurement: &Digest) {
+        assert!(idx < NUM_PCRS, "PCR index out of range");
+        self.pcrs[idx] = Self::extend_value(&self.pcrs[idx], measurement);
+    }
+
+    /// Pure extend computation: `SHA-256(old ‖ measurement)`.
+    pub fn extend_value(old: &Digest, measurement: &Digest) -> Digest {
+        let mut h = Sha256::new();
+        h.update(old.as_bytes());
+        h.update(measurement.as_bytes());
+        h.finalize()
+    }
+
+    /// Reads PCR `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_PCRS`.
+    pub fn read(&self, idx: usize) -> Digest {
+        assert!(idx < NUM_PCRS, "PCR index out of range");
+        self.pcrs[idx]
+    }
+
+    /// Computes the composite digest over a selection of PCRs: the value
+    /// a quote signs. The selection indices are included so that quoting
+    /// different selections can never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn composite(&self, selection: &[usize]) -> Digest {
+        Self::composite_of(selection, |i| self.read(i))
+    }
+
+    /// Computes a composite from arbitrary PCR values (used by verifiers
+    /// that replay an event log rather than owning a bank).
+    pub fn composite_of(selection: &[usize], mut value: impl FnMut(usize) -> Digest) -> Digest {
+        let mut h = Sha256::new();
+        for &i in selection {
+            h.update(&(i as u32).to_be_bytes());
+            h.update(value(i).as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolted_crypto::sha256::sha256;
+
+    #[test]
+    fn starts_zeroed() {
+        let bank = PcrBank::new();
+        for i in 0..NUM_PCRS {
+            assert_eq!(bank.read(i), Digest::ZERO);
+        }
+    }
+
+    #[test]
+    fn extend_is_hash_chain() {
+        let mut bank = PcrBank::new();
+        let m = sha256(b"firmware");
+        bank.extend(0, &m);
+        let expect = PcrBank::extend_value(&Digest::ZERO, &m);
+        assert_eq!(bank.read(0), expect);
+        // Extending again chains, not replaces.
+        let m2 = sha256(b"bootloader");
+        bank.extend(0, &m2);
+        assert_eq!(bank.read(0), PcrBank::extend_value(&expect, &m2));
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let a = sha256(b"a");
+        let b = sha256(b"b");
+        let mut bank1 = PcrBank::new();
+        bank1.extend(0, &a);
+        bank1.extend(0, &b);
+        let mut bank2 = PcrBank::new();
+        bank2.extend(0, &b);
+        bank2.extend(0, &a);
+        assert_ne!(bank1.read(0), bank2.read(0));
+    }
+
+    #[test]
+    fn extend_is_not_invertible_to_reset() {
+        // No sequence of extends can return a PCR to zero (probabilistically);
+        // check it at least changes away from zero.
+        let mut bank = PcrBank::new();
+        bank.extend(3, &sha256(b"x"));
+        assert_ne!(bank.read(3), Digest::ZERO);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut bank = PcrBank::new();
+        bank.extend(0, &sha256(b"x"));
+        bank.extend(10, &sha256(b"y"));
+        bank.reset();
+        assert_eq!(bank, PcrBank::new());
+    }
+
+    #[test]
+    fn composite_depends_on_selection_and_values() {
+        let mut bank = PcrBank::new();
+        bank.extend(0, &sha256(b"fw"));
+        bank.extend(4, &sha256(b"ipxe"));
+        let c1 = bank.composite(&[0, 4]);
+        let c2 = bank.composite(&[0]);
+        let c3 = bank.composite(&[4, 0]);
+        assert_ne!(c1, c2);
+        assert_ne!(c1, c3, "selection order is significant");
+        // Same selection, different values.
+        bank.extend(4, &sha256(b"evil"));
+        assert_ne!(bank.composite(&[0, 4]), c1);
+    }
+
+    #[test]
+    fn composite_of_matches_bank_composite() {
+        let mut bank = PcrBank::new();
+        bank.extend(0, &sha256(b"fw"));
+        bank.extend(5, &sha256(b"cfg"));
+        let sel = [0usize, 5];
+        let c = PcrBank::composite_of(&sel, |i| bank.read(i));
+        assert_eq!(c, bank.composite(&sel));
+    }
+
+    #[test]
+    #[should_panic(expected = "PCR index out of range")]
+    fn extend_out_of_range_panics() {
+        PcrBank::new().extend(NUM_PCRS, &Digest::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "PCR index out of range")]
+    fn read_out_of_range_panics() {
+        PcrBank::new().read(99);
+    }
+}

@@ -1,0 +1,210 @@
+//! TPM sealing: encrypt data so it can only be recovered on this TPM
+//! *while the PCRs hold specific values* (TPM2 policy sessions).
+//!
+//! This is the mechanism that lets a tenant leave a secret on a node
+//! bound to its attested software state: reboot into different firmware
+//! or kexec a different kernel and the blob becomes permanently
+//! unopenable. Keylime uses the same primitive to protect its agent
+//! keys across the kexec boundary.
+
+use bolted_crypto::aead::Aead;
+use bolted_crypto::chacha20::Key;
+use bolted_crypto::hmac::hkdf;
+use bolted_crypto::sha256::Digest;
+
+use crate::device::{Tpm, TpmError};
+use crate::pcr::PcrBank;
+
+/// Data sealed to a TPM + PCR policy.
+#[derive(Debug, Clone)]
+pub struct SealedBlob {
+    /// PCR indices the policy covers.
+    pub selection: Vec<usize>,
+    /// The composite the PCRs must match at unseal time.
+    policy: Digest,
+    /// AEAD ciphertext under a key derived from the TPM's storage seed
+    /// and the policy composite.
+    ciphertext: Vec<u8>,
+}
+
+impl SealedBlob {
+    /// Serialises the blob (e.g. for TPM NVRAM storage).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.selection.len() as u32).to_le_bytes());
+        for &i in &self.selection {
+            out.extend_from_slice(&(i as u32).to_le_bytes());
+        }
+        out.extend_from_slice(self.policy.as_bytes());
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses a serialised blob.
+    pub fn from_bytes(data: &[u8]) -> Option<SealedBlob> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = data.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        if count > crate::pcr::NUM_PCRS {
+            return None;
+        }
+        let mut selection = Vec::with_capacity(count);
+        for _ in 0..count {
+            selection.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize);
+        }
+        let policy = Digest(take(&mut pos, 32)?.try_into().ok()?);
+        let ct_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let ciphertext = take(&mut pos, ct_len)?.to_vec();
+        Some(SealedBlob {
+            selection,
+            policy,
+            ciphertext,
+        })
+    }
+}
+
+impl Tpm {
+    /// Derives the sealing key for a given policy composite. The storage
+    /// seed never leaves the TPM; binding the policy into the KDF means
+    /// a blob sealed under one PCR state cannot be decrypted under
+    /// another even with full software control of the host.
+    fn sealing_key(&self, policy: &Digest) -> Key {
+        let seed = self.storage_seed();
+        let okm = hkdf(b"tpm-seal-v1", &seed, policy.as_bytes(), 32);
+        Key::from_slice(&okm)
+    }
+
+    /// Seals `data` to the *current* values of the selected PCRs.
+    pub fn seal(&self, selection: &[usize], data: &[u8]) -> SealedBlob {
+        let policy = PcrBank::composite_of(selection, |i| self.pcr_read(i));
+        let aead = Aead::new(&self.sealing_key(&policy));
+        let ciphertext = aead.seal(&[0u8; 12], policy.as_bytes(), data);
+        SealedBlob {
+            selection: selection.to_vec(),
+            policy,
+            ciphertext,
+        }
+    }
+
+    /// Unseals a blob; fails unless the selected PCRs currently replay
+    /// the sealing-time composite.
+    pub fn unseal(&self, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
+        let current = PcrBank::composite_of(&blob.selection, |i| self.pcr_read(i));
+        if current != blob.policy {
+            return Err(TpmError::PolicyMismatch);
+        }
+        let aead = Aead::new(&self.sealing_key(&blob.policy));
+        aead.open(&[0u8; 12], blob.policy.as_bytes(), &blob.ciphertext)
+            .map_err(|_| TpmError::PolicyMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolted_crypto::sha256::sha256;
+
+    fn booted_tpm() -> Tpm {
+        let mut t = Tpm::new(11, 512);
+        t.extend_measured(0, sha256(b"linuxboot"), "fw");
+        t.extend_measured(4, sha256(b"agent"), "agent");
+        t
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let t = booted_tpm();
+        let blob = t.seal(&[0, 4], b"luks master key");
+        assert_eq!(t.unseal(&blob).expect("unseals"), b"luks master key");
+    }
+
+    #[test]
+    fn ciphertext_hides_data() {
+        let t = booted_tpm();
+        let blob = t.seal(&[0], b"super secret value");
+        assert!(!blob.ciphertext.windows(6).any(|w| w == b"secret"));
+    }
+
+    #[test]
+    fn unseal_fails_after_further_extend() {
+        let mut t = booted_tpm();
+        let blob = t.seal(&[0, 4], b"key");
+        t.extend_measured(4, sha256(b"something else ran"), "post-seal");
+        assert_eq!(t.unseal(&blob).unwrap_err(), TpmError::PolicyMismatch);
+    }
+
+    #[test]
+    fn unseal_fails_after_reboot_into_different_firmware() {
+        let mut t = booted_tpm();
+        let blob = t.seal(&[0], b"key");
+        t.platform_reset();
+        t.extend_measured(0, sha256(b"evil firmware"), "fw");
+        assert_eq!(t.unseal(&blob).unwrap_err(), TpmError::PolicyMismatch);
+    }
+
+    #[test]
+    fn unseal_succeeds_after_identical_reboot() {
+        let mut t = booted_tpm();
+        let blob = t.seal(&[0, 4], b"key");
+        // Power cycle and replay the same measured boot.
+        t.platform_reset();
+        t.extend_measured(0, sha256(b"linuxboot"), "fw");
+        t.extend_measured(4, sha256(b"agent"), "agent");
+        assert_eq!(t.unseal(&blob).expect("same state"), b"key");
+    }
+
+    #[test]
+    fn blob_bound_to_the_sealing_tpm() {
+        let t1 = booted_tpm();
+        let blob = t1.seal(&[0], b"key");
+        // Another machine with the *same* PCR state still cannot unseal:
+        // the storage seed differs.
+        let mut t2 = Tpm::new(99, 512);
+        t2.extend_measured(0, sha256(b"linuxboot"), "fw");
+        assert_eq!(t2.unseal(&blob).unwrap_err(), TpmError::PolicyMismatch);
+    }
+
+    #[test]
+    fn unselected_pcrs_do_not_affect_policy() {
+        let mut t = booted_tpm();
+        let blob = t.seal(&[0], b"key");
+        t.extend_measured(10, sha256(b"ima churn"), "ima");
+        assert!(t.unseal(&blob).is_ok(), "PCR 10 was not in the policy");
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use bolted_crypto::sha256::sha256;
+
+    #[test]
+    fn blob_serialisation_round_trips() {
+        let mut t = Tpm::new(1, 512);
+        t.extend_measured(0, sha256(b"fw"), "fw");
+        let blob = t.seal(&[0, 4], b"secret");
+        let parsed = SealedBlob::from_bytes(&blob.to_bytes()).expect("parses");
+        assert_eq!(t.unseal(&parsed).expect("unseals"), b"secret");
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let t = Tpm::new(1, 512);
+        let blob = t.seal(&[0], b"x");
+        let bytes = blob.to_bytes();
+        assert!(SealedBlob::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(SealedBlob::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn absurd_selection_count_rejected() {
+        let mut bytes = 1000u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(SealedBlob::from_bytes(&bytes).is_none());
+    }
+}

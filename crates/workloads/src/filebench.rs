@@ -1,0 +1,186 @@
+//! Filebench-in-a-VM model (Figure 7, "VM" group).
+//!
+//! "An important application of bare metal servers is to run virtualized
+//! software" (§7.5): KVM/QEMU on a provisioned node, with a CentOS guest
+//! running Filebench's fileserver personality on 1000 files of 12 MB
+//! average size. The guest's virtual disk is backed by the node's
+//! network-mounted storage, so IPsec on the storage path hits every
+//! cache-missing file operation.
+
+use bolted_sim::{Sim, SimDuration};
+
+use crate::dd::LuksCost;
+use crate::terasort::SecurityVariant;
+
+/// Filebench configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FilebenchConfig {
+    /// Number of files in the working set.
+    pub files: u32,
+    /// Mean file size in bytes (paper: 12 MB).
+    pub file_bytes: u64,
+    /// Number of whole-file operations performed.
+    pub operations: u32,
+    /// Fraction of operations served from the guest page cache.
+    pub cache_hit_ratio: f64,
+    /// Fraction of operations that are writes.
+    pub write_ratio: f64,
+    /// Per-operation metadata/virtio overhead.
+    pub op_overhead: SimDuration,
+    /// Backing-storage throughput, plaintext (bytes/s).
+    pub storage_bps: f64,
+    /// Backing-storage throughput under IPsec (bytes/s) — the VM's
+    /// streams are shorter and less pipelined than raw dd, so the
+    /// penalty is milder than Figure 3c's worst case.
+    pub storage_ipsec_bps: f64,
+}
+
+impl Default for FilebenchConfig {
+    fn default() -> Self {
+        FilebenchConfig {
+            files: 1000,
+            file_bytes: 12 << 20,
+            operations: 4000,
+            cache_hit_ratio: 0.55,
+            write_ratio: 0.35,
+            op_overhead: SimDuration::from_millis(1),
+            storage_bps: 350e6,
+            storage_ipsec_bps: 210e6,
+        }
+    }
+}
+
+/// Result of one Filebench run.
+#[derive(Debug, Clone)]
+pub struct FilebenchResult {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Total runtime.
+    pub duration: SimDuration,
+    /// Achieved operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// Runs the Filebench model for one security variant.
+pub async fn run_filebench(
+    sim: &Sim,
+    variant: SecurityVariant,
+    config: FilebenchConfig,
+) -> FilebenchResult {
+    let start = sim.now();
+    let luks = LuksCost::aes_xts();
+    let storage_bps = if variant.ipsec() {
+        config.storage_ipsec_bps
+    } else {
+        config.storage_bps
+    };
+    let hits = (config.operations as f64 * config.cache_hit_ratio) as u32;
+    let misses = config.operations - hits;
+    let writes = (f64::from(misses) * config.write_ratio) as u32;
+    let reads = misses - writes;
+    // Cache hits: memory speed + op overhead only.
+    let hit_time = config.op_overhead * u64::from(hits)
+        + SimDuration::from_secs_f64(
+            f64::from(hits) * config.file_bytes as f64 / 8e9, // memcpy
+        );
+    sim.sleep(hit_time).await;
+    // Read misses stream from backing storage (and LUKS-decrypt).
+    let read_io = config.file_bytes as f64 / storage_bps;
+    let read_crypt = if variant.luks() {
+        config.file_bytes as f64 / luks.decrypt_bps
+    } else {
+        0.0
+    };
+    let read_time = SimDuration::from_secs_f64(f64::from(reads) * (read_io + read_crypt))
+        + config.op_overhead * u64::from(reads);
+    sim.sleep(read_time).await;
+    // Write misses stream to backing storage (and LUKS-encrypt).
+    let write_io = config.file_bytes as f64 / storage_bps;
+    let write_crypt = if variant.luks() {
+        config.file_bytes as f64 / luks.encrypt_bps
+    } else {
+        0.0
+    };
+    let write_time = SimDuration::from_secs_f64(f64::from(writes) * (write_io + write_crypt))
+        + config.op_overhead * u64::from(writes);
+    sim.sleep(write_time).await;
+    let duration = sim.now().since(start);
+    FilebenchResult {
+        variant: variant.name(),
+        duration,
+        ops_per_sec: f64::from(config.operations) / duration.as_secs_f64(),
+    }
+}
+
+/// Convenience: standalone run.
+pub fn filebench_standalone(variant: SecurityVariant, config: FilebenchConfig) -> FilebenchResult {
+    let sim = Sim::new();
+    sim.block_on({
+        let sim2 = sim.clone();
+        async move { run_filebench(&sim2, variant, config).await }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_run() {
+        for v in SecurityVariant::all() {
+            let r = filebench_standalone(v, FilebenchConfig::default());
+            assert!(r.ops_per_sec > 0.0, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn ipsec_costs_roughly_fifty_percent() {
+        // Paper: "the performance of this benchmark is ~50% worse in the
+        // case of IPsec".
+        let base = filebench_standalone(SecurityVariant::Baseline, FilebenchConfig::default());
+        let ipsec = filebench_standalone(SecurityVariant::Ipsec, FilebenchConfig::default());
+        let f = ipsec.duration.as_secs_f64() / base.duration.as_secs_f64();
+        assert!((1.3..1.75).contains(&f), "IPsec factor {f:.2}");
+    }
+
+    #[test]
+    fn luks_alone_is_minor() {
+        let base = filebench_standalone(SecurityVariant::Baseline, FilebenchConfig::default());
+        let luks = filebench_standalone(SecurityVariant::Luks, FilebenchConfig::default());
+        let f = luks.duration.as_secs_f64() / base.duration.as_secs_f64();
+        assert!(f < 1.15, "LUKS factor {f:.2}");
+    }
+
+    #[test]
+    fn better_cache_hit_ratio_softens_ipsec() {
+        let cold = FilebenchConfig {
+            cache_hit_ratio: 0.1,
+            ..FilebenchConfig::default()
+        };
+        let warm = FilebenchConfig {
+            cache_hit_ratio: 0.9,
+            ..FilebenchConfig::default()
+        };
+        let cold_f = filebench_standalone(SecurityVariant::Ipsec, cold)
+            .duration
+            .as_secs_f64()
+            / filebench_standalone(SecurityVariant::Baseline, cold)
+                .duration
+                .as_secs_f64();
+        let warm_f = filebench_standalone(SecurityVariant::Ipsec, warm)
+            .duration
+            .as_secs_f64()
+            / filebench_standalone(SecurityVariant::Baseline, warm)
+                .duration
+                .as_secs_f64();
+        assert!(warm_f < cold_f, "warm {warm_f:.2} vs cold {cold_f:.2}");
+    }
+
+    #[test]
+    fn ops_rate_consistent_with_duration() {
+        let c = FilebenchConfig::default();
+        let r = filebench_standalone(SecurityVariant::Baseline, c);
+        let recomputed = f64::from(c.operations) / r.duration.as_secs_f64();
+        assert!((r.ops_per_sec - recomputed).abs() < 1e-9);
+    }
+}

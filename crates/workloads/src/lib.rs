@@ -1,0 +1,26 @@
+//! `bolted-workloads` — the applications of the paper's evaluation.
+//!
+//! NPB kernels (EP/CG/FT/MG) over the simulated fabric, Spark TeraSort,
+//! Filebench in a VM, the Linux-kernel-compile IMA stress test, and the
+//! `dd` micro-benchmark — each parameterised by the security variant
+//! (plain / LUKS / IPsec / both) so Figures 3a, 3c, 6 and 7 can be
+//! regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster_net;
+pub mod dd;
+pub mod filebench;
+pub mod kcompile;
+pub mod npb;
+pub mod terasort;
+
+pub use cluster_net::{standalone_group, CommGroup};
+pub use dd::{dd_device, dd_iscsi, DdOp, DdResult, DeviceModel, LuksCost};
+pub use filebench::{filebench_standalone, run_filebench, FilebenchConfig, FilebenchResult};
+pub use kcompile::{kcompile_standalone, run_kcompile, KcompileConfig, KcompileResult};
+pub use npb::{npb_overhead, run_npb, NpbKernel, NpbResult};
+pub use terasort::{
+    run_terasort, terasort_standalone, SecurityVariant, TeraSortConfig, TeraSortResult,
+};

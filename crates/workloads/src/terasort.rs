@@ -1,0 +1,244 @@
+//! Spark TeraSort model (Figure 7, "Spark" group).
+//!
+//! "TeraSort is a complex application which reads data from remote
+//! storage, shuffles temporary data between servers and writes final
+//! results to remote storage" (§7.5). The model runs those phases over
+//! the simulated fabric: storage I/O at per-node rates calibrated from
+//! Figure 3c, the shuffle as a real all-to-all through the per-node
+//! crypto engines, and JVM compute as virtual time.
+
+use bolted_sim::{Sim, SimDuration};
+
+use crate::cluster_net::CommGroup;
+use crate::dd::LuksCost;
+
+/// Security variant of a run (Figure 7's bar groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityVariant {
+    /// Trust the provider: no encryption.
+    Baseline,
+    /// Disk encryption only.
+    Luks,
+    /// Network encryption only.
+    Ipsec,
+    /// Both (the full Charlie configuration).
+    LuksIpsec,
+}
+
+impl SecurityVariant {
+    /// All four variants.
+    pub fn all() -> [SecurityVariant; 4] {
+        [
+            SecurityVariant::Baseline,
+            SecurityVariant::Luks,
+            SecurityVariant::Ipsec,
+            SecurityVariant::LuksIpsec,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SecurityVariant::Baseline => "baseline",
+            SecurityVariant::Luks => "luks",
+            SecurityVariant::Ipsec => "ipsec",
+            SecurityVariant::LuksIpsec => "luks+ipsec",
+        }
+    }
+
+    /// Whether network traffic is encrypted.
+    pub fn ipsec(self) -> bool {
+        matches!(self, SecurityVariant::Ipsec | SecurityVariant::LuksIpsec)
+    }
+
+    /// Whether disks are encrypted.
+    pub fn luks(self) -> bool {
+        matches!(self, SecurityVariant::Luks | SecurityVariant::LuksIpsec)
+    }
+}
+
+/// TeraSort configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TeraSortConfig {
+    /// Total dataset bytes (the paper: 260 GB across 16 servers).
+    pub dataset_bytes: u64,
+    /// Per-node remote-storage read rate, plaintext network (bytes/s).
+    pub storage_read_bps: f64,
+    /// Per-node remote-storage write rate, plaintext network (bytes/s).
+    pub storage_write_bps: f64,
+    /// Per-node remote-storage rate when the path is IPsec-protected —
+    /// the Figure 3c result: roughly 3x slower.
+    pub storage_ipsec_bps: f64,
+    /// JVM compute per byte, ns (map+sort+reduce combined).
+    pub compute_ns_per_byte: f64,
+}
+
+impl Default for TeraSortConfig {
+    fn default() -> Self {
+        TeraSortConfig {
+            dataset_bytes: 260 << 30,
+            storage_read_bps: 280e6,
+            storage_write_bps: 200e6,
+            storage_ipsec_bps: 140e6,
+            compute_ns_per_byte: 20.0,
+        }
+    }
+}
+
+/// Result of one TeraSort run.
+#[derive(Debug, Clone)]
+pub struct TeraSortResult {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Node count.
+    pub nodes: usize,
+    /// Total runtime.
+    pub duration: SimDuration,
+    /// `(read, compute, shuffle, write)` phase durations.
+    pub phases: [SimDuration; 4],
+}
+
+fn storage_phase_time(
+    bytes: u64,
+    base_bps: f64,
+    variant: SecurityVariant,
+    ipsec_bps: f64,
+    luks_bps: f64,
+) -> SimDuration {
+    let io_bps = if variant.ipsec() { ipsec_bps } else { base_bps };
+    let io = bytes as f64 / io_bps;
+    let crypt = if variant.luks() {
+        bytes as f64 / luks_bps
+    } else {
+        0.0
+    };
+    // dm-crypt copies then ciphers: a small additive cost on top of the
+    // stream (the Figure 3a behaviour) — visible but minor next to IPsec.
+    SimDuration::from_secs_f64(io + crypt)
+}
+
+/// Runs TeraSort over a [`CommGroup`] (whose cipher setting must match
+/// `variant.ipsec()`).
+pub async fn run_terasort(
+    sim: &Sim,
+    group: &CommGroup,
+    variant: SecurityVariant,
+    config: TeraSortConfig,
+) -> TeraSortResult {
+    assert_eq!(
+        group.encrypted(),
+        variant.ipsec(),
+        "CommGroup cipher must match the variant"
+    );
+    let n = group.len() as u64;
+    let per_node = config.dataset_bytes / n;
+    let luks = LuksCost::aes_xts();
+    let start = sim.now();
+
+    // Phase 1: read input from remote storage (all nodes in parallel).
+    let read_t = storage_phase_time(
+        per_node,
+        config.storage_read_bps,
+        variant,
+        config.storage_ipsec_bps,
+        luks.decrypt_bps,
+    );
+    sim.sleep(read_t).await;
+    let p1 = sim.now();
+
+    // Phase 2: map + sort compute.
+    let compute = SimDuration::from_secs_f64(per_node as f64 * config.compute_ns_per_byte / 1e9);
+    sim.sleep(compute).await;
+    let p2 = sim.now();
+
+    // Phase 3: shuffle — real all-to-all over the fabric.
+    let per_pair = per_node / n;
+    group.all_to_all(per_pair).await.expect("enclave reachable");
+    let p3 = sim.now();
+
+    // Phase 4: write output to remote storage.
+    let write_t = storage_phase_time(
+        per_node,
+        config.storage_write_bps,
+        variant,
+        config.storage_ipsec_bps,
+        luks.encrypt_bps,
+    );
+    sim.sleep(write_t).await;
+    let end = sim.now();
+
+    TeraSortResult {
+        variant: variant.name(),
+        nodes: group.len(),
+        duration: end.since(start),
+        phases: [p1.since(start), p2.since(p1), p3.since(p2), end.since(p3)],
+    }
+}
+
+/// Convenience: full standalone run of one variant at 16 nodes.
+pub fn terasort_standalone(variant: SecurityVariant, config: TeraSortConfig) -> TeraSortResult {
+    let sim = Sim::new();
+    let cipher = variant
+        .ipsec()
+        .then(|| bolted_crypto::CipherSuite::AesNi.default_cost());
+    let (_fabric, group) = crate::cluster_net::standalone_group(&sim, 16, cipher);
+    sim.block_on({
+        let sim2 = sim.clone();
+        async move { run_terasort(&sim2, &group, variant, config).await }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TeraSortConfig {
+        TeraSortConfig {
+            dataset_bytes: 32 << 30,
+            ..TeraSortConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_variants_run() {
+        for v in SecurityVariant::all() {
+            let r = terasort_standalone(v, small());
+            assert!(r.duration > SimDuration::ZERO, "{}", v.name());
+            assert_eq!(r.nodes, 16);
+        }
+    }
+
+    #[test]
+    fn luks_alone_is_cheap() {
+        let base = terasort_standalone(SecurityVariant::Baseline, small());
+        let luks = terasort_standalone(SecurityVariant::Luks, small());
+        let f = luks.duration.as_secs_f64() / base.duration.as_secs_f64();
+        assert!((1.0..1.12).contains(&f), "LUKS factor {f:.3}");
+    }
+
+    #[test]
+    fn full_charlie_config_costs_about_thirty_percent() {
+        // Paper: "a significant overall degradation, of ~30% for
+        // LUKS+IPsec" — and tenants would accept it.
+        let base = terasort_standalone(SecurityVariant::Baseline, small());
+        let full = terasort_standalone(SecurityVariant::LuksIpsec, small());
+        let f = full.duration.as_secs_f64() / base.duration.as_secs_f64();
+        assert!((1.18..1.55).contains(&f), "LUKS+IPsec factor {f:.2}");
+    }
+
+    #[test]
+    fn ipsec_dominates_the_combined_cost() {
+        let ipsec = terasort_standalone(SecurityVariant::Ipsec, small());
+        let full = terasort_standalone(SecurityVariant::LuksIpsec, small());
+        let luks = terasort_standalone(SecurityVariant::Luks, small());
+        assert!(ipsec.duration > luks.duration);
+        assert!(full.duration >= ipsec.duration);
+    }
+
+    #[test]
+    fn phase_accounting_sums_to_total() {
+        let r = terasort_standalone(SecurityVariant::Baseline, small());
+        let sum: f64 = r.phases.iter().map(|p| p.as_secs_f64()).sum();
+        assert!((sum - r.duration.as_secs_f64()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,97 @@
+//! Charlie's full story: a 4-node secure enclave with continuous
+//! attestation, a running distributed workload, a compromise — and the
+//! ~3-second cryptographic ban of the compromised node (§7.4).
+//!
+//! Run with: `cargo run --example secure_enclave`
+
+use bolted::core::{revocation_experiment, Cloud, CloudConfig, Enclave, SecurityProfile, Tenant};
+use bolted::firmware::KernelImage;
+use bolted::keylime::ImaWhitelist;
+use bolted::sim::{Sim, SimDuration};
+
+fn main() {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes: 4,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28-4.17.9", b"vmlinuz + initramfs");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "ima_policy=tcb")
+        .expect("golden image");
+
+    // Charlie's runtime whitelist: the only binaries his nodes may run.
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant session");
+    let mut wl = ImaWhitelist::new();
+    wl.allow_content("/usr/bin/spark-executor", b"spark 2.3.1 executor");
+    wl.allow_content("/usr/bin/java", b"openjdk 8");
+    tenant.set_ima_whitelist(wl);
+
+    println!("provisioning a 4-node attested enclave...");
+    let enclave = sim.block_on({
+        let (cloud2, tenant2) = (cloud.clone(), tenant.clone());
+        async move {
+            let mut members = Vec::new();
+            for node in cloud2.nodes() {
+                let p = tenant2
+                    .provision(node, &SecurityProfile::charlie(), golden)
+                    .await
+                    .expect("attested provisioning");
+                println!(
+                    "  {} joined after {:.1}s",
+                    p.report.node,
+                    p.report.total().as_secs_f64()
+                );
+                members.push(p);
+            }
+            Enclave::form(&cloud2, members)
+        }
+    });
+    println!(
+        "enclave formed: {} nodes, IPsec mesh keyed via Keylime",
+        enclave.len()
+    );
+
+    // Normal operation: encrypted traffic between members.
+    let echoed = enclave
+        .tunnel_send(0, 1, b"shuffle block 42")
+        .expect("tunnel up");
+    assert_eq!(echoed, b"shuffle block 42");
+
+    // Legitimate binaries run without incident; then node 2 is popped.
+    let enclave = std::rc::Rc::new(enclave);
+    let report = sim.block_on({
+        let (cloud2, tenant2) = (cloud.clone(), tenant.clone());
+        let enclave2 = std::rc::Rc::clone(&enclave);
+        async move {
+            enclave2.members[0]
+                .agent
+                .as_ref()
+                .expect("agent")
+                .ima_measure("/usr/bin/java", b"openjdk 8");
+            revocation_experiment(&cloud2, &tenant2, &enclave2, 2, SimDuration::from_secs(30)).await
+        }
+    });
+
+    println!();
+    println!(
+        "node 2 executed an unwhitelisted binary at t={}",
+        report.violation_at
+    );
+    println!(
+        "  detected after  {:.2}s (continuous attestation poll + quote verify)",
+        report.detection_latency().as_secs_f64()
+    );
+    println!(
+        "  fully banned in {:.2}s (keys revoked, SAs torn down on every peer)",
+        report.total_latency().as_secs_f64()
+    );
+    assert!(enclave.is_banned(2));
+    assert!(enclave.tunnel_send(0, 2, b"anyone there?").is_err());
+    assert!(enclave.tunnel_send(0, 1, b"still fine").is_ok());
+    println!("node 2 is cryptographically isolated; the rest of the enclave is unaffected.");
+}

@@ -1,0 +1,17 @@
+//! Bolted: a bare-metal cloud architecture for security-sensitive tenants.
+//!
+//! This is the umbrella crate; it re-exports every subsystem. See the
+//! individual crates for details, and `examples/` for runnable scenarios.
+#![forbid(unsafe_code)]
+
+pub use bolted_bmi as bmi;
+pub use bolted_core as core;
+pub use bolted_crypto as crypto;
+pub use bolted_firmware as firmware;
+pub use bolted_hil as hil;
+pub use bolted_keylime as keylime;
+pub use bolted_net as net;
+pub use bolted_sim as sim;
+pub use bolted_storage as storage;
+pub use bolted_tpm as tpm;
+pub use bolted_workloads as workloads;

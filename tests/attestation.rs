@@ -1,0 +1,181 @@
+//! Attestation-stack integration tests: key bootstrap, TPM sealing
+//! across reboots, storage integrity, and traffic shaping — the
+//! extension features layered on the paper's core flows.
+
+use bolted::core::{Cloud, CloudConfig, SecurityProfile, Tenant};
+use bolted::firmware::KernelImage;
+use bolted::net::TransferSpec;
+use bolted::sim::Sim;
+use bolted::storage::{ImageId, ObjectKey};
+use bolted::tpm::TpmError;
+
+fn build(nodes: usize) -> (Sim, Cloud, ImageId) {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .expect("golden");
+    (sim, cloud, golden)
+}
+
+#[test]
+fn bootstrap_key_sealed_during_provisioning_survives_warm_reboot() {
+    let (sim, cloud, golden) = build(1);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let node = cloud.nodes()[0];
+    let (agent, machine) = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            let p = tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+                .expect("provisions");
+            (p.agent.clone().expect("agent"), p.machine.clone())
+        }
+    });
+    // Warm reboot through the identical measured chain: firmware + the
+    // same agent download measurement, then the sealed key recovers.
+    machine.power_cycle();
+    sim.block_on({
+        let (sim2, machine) = (sim.clone(), machine.clone());
+        async move {
+            machine.run_firmware(&sim2).await.expect("boots");
+            machine
+                .measure_download("keylime-agent", bolted::keylime::agent_binary_digest())
+                .expect("measures");
+        }
+    });
+    let recovered = agent.recover_bootstrap().expect("sealed key recovers");
+    assert_eq!(recovered.0.len(), 32);
+}
+
+#[test]
+fn sealed_bootstrap_dies_with_firmware_tamper() {
+    let (sim, cloud, golden) = build(1);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let node = cloud.nodes()[0];
+    let (agent, machine) = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            let p = tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+                .expect("provisions");
+            (p.agent.clone().expect("agent"), p.machine.clone())
+        }
+    });
+    machine.reflash(machine.flash().tampered(b"between-occupancy implant"));
+    machine.power_cycle();
+    sim.block_on({
+        let (sim2, machine) = (sim.clone(), machine.clone());
+        async move {
+            machine.run_firmware(&sim2).await.expect("boots");
+        }
+    });
+    assert_eq!(
+        agent.recover_bootstrap().unwrap_err(),
+        TpmError::PolicyMismatch,
+        "tampered firmware cannot recover the tenant's keys"
+    );
+}
+
+#[test]
+fn storage_deep_scrub_detects_corruption_under_live_tenant() {
+    let (sim, cloud, golden) = build(1);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let node = cloud.nodes()[0];
+    let (image, corrupted) = sim.block_on({
+        let (tenant, cloud) = (tenant.clone(), cloud.clone());
+        async move {
+            let p = tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+                .expect("provisions");
+            // Tenant writes data, provider-side media corrupts it.
+            p.target.write(0, b"ledger block 1").await.expect("writes");
+            let key = ObjectKey {
+                image: p.image,
+                index: 0,
+            };
+            assert!(cloud.cluster.corrupt_object(key, 5));
+            let corrupted = cloud.cluster.deep_scrub().await;
+            (p.image, corrupted)
+        }
+    });
+    assert_eq!(corrupted.len(), 1);
+    assert_eq!(corrupted[0].image, image);
+}
+
+#[test]
+fn osd_failure_does_not_take_down_a_booting_tenant() {
+    let (sim, cloud, golden) = build(1);
+    // One of the three OSD hosts dies before provisioning starts.
+    cloud.cluster.fail_osd(2);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let node = cloud.nodes()[0];
+    let p = sim
+        .block_on({
+            let tenant = tenant.clone();
+            async move {
+                tenant
+                    .provision(node, &SecurityProfile::charlie(), golden)
+                    .await
+            }
+        })
+        .expect("boots from surviving replicas");
+    assert_eq!(p.report.node, "m620-01");
+}
+
+#[test]
+fn shaped_traffic_is_uniform_on_the_wire() {
+    let (sim, cloud, golden) = build(2);
+    cloud.fabric.enable_taps();
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let nodes = cloud.nodes();
+    sim.block_on({
+        let (tenant, cloud) = (tenant.clone(), cloud.clone());
+        let nodes = nodes.clone();
+        async move {
+            let a = tenant
+                .provision(nodes[0], &SecurityProfile::charlie(), golden)
+                .await
+                .expect("a");
+            let b = tenant
+                .provision(nodes[1], &SecurityProfile::charlie(), golden)
+                .await
+                .expect("b");
+            let (ha, hb) = (
+                cloud.hil.node_host(a.node).expect("host"),
+                cloud.hil.node_host(b.node).expect("host"),
+            );
+            // Charlie shapes his traffic (§6): the provider's tap must not
+            // be able to tell a 10-byte command from a 30 KiB record.
+            let spec = TransferSpec::plain().shaped(64 * 1024);
+            for msg in [vec![1u8; 10], vec![2u8; 30_000], vec![3u8; 60_000]] {
+                cloud
+                    .fabric
+                    .send_msg(ha, hb, msg, spec)
+                    .await
+                    .expect("sends");
+            }
+        }
+    });
+    let vlan = cloud
+        .fabric
+        .host_vlan(cloud.hil.node_host(nodes[0]).expect("host"))
+        .expect("vlan");
+    let frames = cloud.fabric.tapped(vlan);
+    assert_eq!(frames.len(), 3);
+    assert!(
+        frames.iter().all(|f| f.len() == 64 * 1024),
+        "shaped frames must be indistinguishable by size"
+    );
+}

@@ -1,0 +1,96 @@
+//! Profile-sensitivity integration tests: the tenant-visible knobs
+//! (read-ahead, cipher suite, firmware kind) must shift end-to-end
+//! behaviour in the directions the paper reports.
+
+use bolted::core::{Cloud, CloudConfig, SecurityProfile, Tenant};
+use bolted::crypto::CipherSuite;
+use bolted::firmware::{FirmwareKind, KernelImage};
+use bolted::sim::Sim;
+use bolted::storage::ImageId;
+
+fn provision_total(profile: SecurityProfile, firmware: FirmwareKind) -> f64 {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes: 1,
+            firmware,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
+    let golden: ImageId = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .expect("golden");
+    let tenant = Tenant::new(&cloud, "t").expect("tenant");
+    let node = cloud.nodes()[0];
+    sim.block_on(async move { tenant.provision(node, &profile, golden).await })
+        .expect("provisions")
+        .report
+        .total()
+        .as_secs_f64()
+}
+
+#[test]
+fn untuned_read_ahead_slows_kernel_boot() {
+    let tuned = provision_total(SecurityProfile::alice(), FirmwareKind::LinuxBoot);
+    let untuned = provision_total(
+        SecurityProfile::alice().untuned_read_ahead(),
+        FirmwareKind::LinuxBoot,
+    );
+    assert!(
+        untuned > tuned + 5.0,
+        "128 KiB read-ahead must visibly slow the boot I/O: {tuned:.1}s vs {untuned:.1}s"
+    );
+}
+
+#[test]
+fn software_aes_charlie_pays_more_than_hardware_aes() {
+    let mut hw = SecurityProfile::charlie();
+    hw.cipher = CipherSuite::AesNi;
+    let mut sw = SecurityProfile::charlie();
+    sw.cipher = CipherSuite::AesSw;
+    sw.name = "charlie-sw-aes".into();
+    let t_hw = provision_total(hw, FirmwareKind::LinuxBoot);
+    let t_sw = provision_total(sw, FirmwareKind::LinuxBoot);
+    assert!(
+        t_sw > t_hw,
+        "software AES must cost more boot time: hw {t_hw:.1}s vs sw {t_sw:.1}s"
+    );
+}
+
+#[test]
+fn profile_cost_ordering_holds_end_to_end() {
+    // Alice < Bob < Charlie on identical hardware: you pay for exactly
+    // the security you pick (the paper's central claim).
+    let a = provision_total(SecurityProfile::alice(), FirmwareKind::LinuxBoot);
+    let b = provision_total(SecurityProfile::bob(), FirmwareKind::LinuxBoot);
+    let c = provision_total(SecurityProfile::charlie(), FirmwareKind::LinuxBoot);
+    assert!(a < b, "alice {a:.1}s < bob {b:.1}s");
+    assert!(b < c, "bob {b:.1}s < charlie {c:.1}s");
+}
+
+#[test]
+fn linuxboot_beats_uefi_for_every_profile() {
+    for profile in [
+        SecurityProfile::alice(),
+        SecurityProfile::bob(),
+        SecurityProfile::charlie(),
+    ] {
+        let lb = provision_total(profile.clone(), FirmwareKind::LinuxBoot);
+        let uefi = provision_total(profile.clone().on_uefi(), FirmwareKind::Uefi);
+        assert!(
+            uefi > lb + 150.0,
+            "{}: POST gap must dominate ({lb:.1}s vs {uefi:.1}s)",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn continuous_attestation_runs_only_for_charlie() {
+    assert!(SecurityProfile::charlie().continuous_attestation);
+    assert!(!SecurityProfile::bob().continuous_attestation);
+    assert!(!SecurityProfile::alice().continuous_attestation);
+}

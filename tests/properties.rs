@@ -1,0 +1,227 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! security invariants DESIGN.md calls out.
+
+use proptest::prelude::*;
+
+use bolted::crypto::bignum::BigUint;
+use bolted::crypto::chacha20::{chacha20_encrypt, Key};
+use bolted::crypto::luks::{BlockDevice, LuksDevice, RamDisk, SECTOR_SIZE};
+use bolted::crypto::prime::XorShiftSource;
+use bolted::crypto::sha256::{sha256, Sha256};
+use bolted::crypto::Aead;
+use bolted::keylime::{combine_key, split_key, ImaLog, TenantPayload};
+use bolted::sim::{Resource, Rng, Sim, SimDuration};
+use bolted::tpm::{PcrBank, Tpm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -- hashing ---------------------------------------------------------
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..4096), split in 0usize..4096) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha256_injective_in_practice(a in prop::collection::vec(any::<u8>(), 0..256),
+                                    b in prop::collection::vec(any::<u8>(), 0..256)) {
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    // -- bignum ------------------------------------------------------------
+
+    #[test]
+    fn bignum_add_sub_round_trip(a in prop::collection::vec(any::<u8>(), 0..24),
+                                 b in prop::collection::vec(any::<u8>(), 0..24)) {
+        let x = BigUint::from_bytes_be(&a);
+        let y = BigUint::from_bytes_be(&b);
+        prop_assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    #[test]
+    fn bignum_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let expect = u128::from(a) * u128::from(b);
+        let got = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        let mut bytes = expect.to_be_bytes().to_vec();
+        while bytes.first() == Some(&0) { bytes.remove(0); }
+        prop_assert_eq!(got.to_bytes_be(), bytes);
+    }
+
+    #[test]
+    fn bignum_divrem_identity(a in prop::collection::vec(any::<u8>(), 1..28),
+                              b in prop::collection::vec(any::<u8>(), 1..14)) {
+        let x = BigUint::from_bytes_be(&a);
+        let mut y = BigUint::from_bytes_be(&b);
+        if y.is_zero() { y = BigUint::one(); }
+        let (q, r) = x.divrem(&y);
+        prop_assert!(r < y);
+        prop_assert_eq!(q.mul(&y).add(&r), x);
+    }
+
+    #[test]
+    fn bignum_byte_round_trip(a in prop::collection::vec(1u8..=255, 0..32)) {
+        let x = BigUint::from_bytes_be(&a);
+        prop_assert_eq!(x.to_bytes_be(), a);
+    }
+
+    #[test]
+    fn bignum_shifts_invert(a in prop::collection::vec(any::<u8>(), 0..16), s in 0usize..100) {
+        let x = BigUint::from_bytes_be(&a);
+        prop_assert_eq!(x.shl(s).shr(s), x);
+    }
+
+    // -- ciphers -----------------------------------------------------------
+
+    #[test]
+    fn chacha20_round_trips(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                            data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let k = Key(key);
+        let ct = chacha20_encrypt(&k, &nonce, 1, &data);
+        prop_assert_eq!(chacha20_encrypt(&k, &nonce, 1, &ct), data);
+    }
+
+    #[test]
+    fn aead_round_trips_and_rejects_tamper(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                           aad in prop::collection::vec(any::<u8>(), 0..64),
+                                           data in prop::collection::vec(any::<u8>(), 0..512),
+                                           flip in any::<(usize, u8)>()) {
+        let aead = Aead::new(&Key(key));
+        let sealed = aead.seal(&nonce, &aad, &data);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), data);
+        // Any single-byte change (with a non-zero xor) must fail.
+        let (pos, mask) = flip;
+        if mask != 0 && !sealed.is_empty() {
+            let mut bad = sealed.clone();
+            let i = pos % bad.len();
+            bad[i] ^= mask;
+            prop_assert!(aead.open(&nonce, &aad, &bad).is_err());
+        }
+    }
+
+    // -- LUKS --------------------------------------------------------------
+
+    #[test]
+    fn luks_round_trips_any_sector(pass in prop::collection::vec(any::<u8>(), 1..32),
+                                   sector in 0u64..50,
+                                   data in prop::collection::vec(any::<u8>(), SECTOR_SIZE..=SECTOR_SIZE)) {
+        let mut rng = XorShiftSource::new(7);
+        let mut luks = LuksDevice::format(RamDisk::new(64), &pass, &mut rng).unwrap();
+        luks.write_sector(sector, &data).unwrap();
+        let mut buf = [0u8; SECTOR_SIZE];
+        luks.read_sector(sector, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..], &data[..]);
+        // Ciphertext at rest differs from plaintext (unless astronomically unlucky).
+        let raw = luks.into_inner();
+        let mut on_disk = [0u8; SECTOR_SIZE];
+        raw.read_sector(sector + bolted::crypto::luks::HEADER_SECTORS, &mut on_disk).unwrap();
+        prop_assert_ne!(&on_disk[..], &data[..]);
+    }
+
+    // -- key split -----------------------------------------------------------
+
+    #[test]
+    fn uv_split_always_recombines(key in any::<[u8; 32]>(), seed in any::<u64>()) {
+        let mut rng = XorShiftSource::new(seed);
+        let k = Key(key);
+        let (u, v) = split_key(&k, &mut rng);
+        prop_assert_eq!(combine_key(&u, &v).0, key);
+        // Neither share equals the key (w.h.p. — the share is random).
+        prop_assert!(u.0 != key || v.0 == [0u8; 32]);
+    }
+
+    #[test]
+    fn payload_codec_round_trips(name in "[a-z0-9.-]{1,32}", size in any::<u64>(),
+                                 cmdline in "[ -~]{0,64}",
+                                 pass in prop::collection::vec(any::<u8>(), 0..64),
+                                 psk in prop::collection::vec(any::<u8>(), 0..64),
+                                 key in any::<[u8; 32]>()) {
+        let p = TenantPayload {
+            kernel_name: name,
+            kernel_digest: sha256(b"k"),
+            kernel_size: size,
+            cmdline,
+            luks_passphrase: pass,
+            ipsec_psk: psk,
+            script: "kexec".into(),
+        };
+        let k = Key(key);
+        prop_assert_eq!(TenantPayload::open(&p.seal(&k), &k).unwrap(), p);
+    }
+
+    // -- TPM / IMA ------------------------------------------------------------
+
+    #[test]
+    fn pcr_extends_never_collide_with_reorder(
+        ms in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..16), 2..6)
+    ) {
+        // Extending a permuted sequence yields a different PCR value
+        // unless the permutation is the identity.
+        let mut fwd = PcrBank::new();
+        for m in &ms { fwd.extend(0, &sha256(m)); }
+        let mut rev = PcrBank::new();
+        for m in ms.iter().rev() { rev.extend(0, &sha256(m)); }
+        let palindrome = ms.iter().eq(ms.iter().rev());
+        if !palindrome {
+            prop_assert_ne!(fwd.read(0), rev.read(0));
+        }
+    }
+
+    #[test]
+    fn ima_log_replay_always_matches_live_pcr(
+        files in prop::collection::vec(("[a-z/]{1,20}", prop::collection::vec(any::<u8>(), 0..64)), 0..20)
+    ) {
+        let mut tpm = Tpm::new(5, 512);
+        let mut log = ImaLog::new();
+        for (path, content) in &files {
+            log.measure(&mut tpm, path, content);
+        }
+        prop_assert_eq!(log.replay_pcr(), tpm.pcr_read(bolted::tpm::index::IMA));
+    }
+
+    // -- simulator ----------------------------------------------------------
+
+    #[test]
+    fn sim_resource_conserves_work(jobs in prop::collection::vec(1u64..200, 1..40),
+                                   capacity in 1usize..8) {
+        // Total busy time on a FIFO resource equals the sum of service
+        // times when all jobs arrive at t=0 (work conservation): the
+        // makespan is bounded by ceil-scheduling bounds.
+        let sim = Sim::new();
+        let res = Resource::new(&sim, capacity);
+        let total: u64 = jobs.iter().sum();
+        let max = *jobs.iter().max().unwrap();
+        for ms in jobs.clone() {
+            let r = res.clone();
+            sim.spawn(async move { r.visit(SimDuration::from_millis(ms)).await });
+        }
+        prop_assert_eq!(sim.run(), 0);
+        let makespan = sim.now().as_nanos() / 1_000_000;
+        let lower = (total.div_ceil(capacity as u64)).max(max);
+        prop_assert!(makespan >= lower, "makespan {} < lower bound {}", makespan, lower);
+        prop_assert!(makespan <= total, "makespan {} > serial time {}", makespan, total);
+    }
+
+    #[test]
+    fn sim_rng_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn sim_rng_range_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(r.gen_range(bound) < bound);
+        }
+    }
+}

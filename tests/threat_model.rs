@@ -1,0 +1,331 @@
+//! §2/§6 threat-model integration tests: every attack the paper defends
+//! against, executed against the full stack.
+
+use bolted::core::{
+    revocation_experiment, Cloud, CloudConfig, Enclave, ProvisionError, SecurityProfile, Tenant,
+};
+use bolted::firmware::{FirmwareKind, KernelImage};
+use bolted::keylime::ImaWhitelist;
+use bolted::sim::{Sim, SimDuration};
+use bolted::storage::ImageId;
+
+fn build(nodes: usize) -> (Sim, Cloud, ImageId) {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes,
+            firmware: FirmwareKind::LinuxBoot,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .expect("golden");
+    (sim, cloud, golden)
+}
+
+fn is_rejected(r: Result<bolted::core::ProvisionedNode, ProvisionError>) -> bool {
+    matches!(r, Err(ProvisionError::Rejected(_)))
+}
+
+// -- prior to occupancy ------------------------------------------------------
+
+#[test]
+fn prior_occupancy_firmware_implant_rejected() {
+    let (sim, cloud, golden) = build(1);
+    let node = cloud.nodes()[0];
+    let m = cloud.machine(node);
+    m.reflash(m.flash().tampered(b"previous tenant's bootkit"));
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let r = sim.block_on(async move {
+        tenant
+            .provision(node, &SecurityProfile::charlie(), golden)
+            .await
+    });
+    assert!(is_rejected(r));
+    assert_eq!(cloud.rejected_pool(), vec![node]);
+}
+
+#[test]
+fn prior_occupancy_downgraded_firmware_version_rejected() {
+    // Even a *genuine but outdated* firmware build fails attestation:
+    // the whitelist pins the tenant's expected build, giving "time-of-use
+    // proof that the provider has kept the firmware up to date" (§3).
+    let (sim, cloud, golden) = build(1);
+    let node = cloud.nodes()[0];
+    let old = bolted::firmware::FirmwareSource::from_tree(
+        FirmwareKind::LinuxBoot,
+        "heads-0.1.0-with-known-cve",
+        b"older source tree",
+    )
+    .build();
+    cloud.machine(node).reflash(old);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let r = sim.block_on(async move {
+        tenant
+            .provision(node, &SecurityProfile::charlie(), golden)
+            .await
+    });
+    assert!(is_rejected(r));
+}
+
+#[test]
+fn rejected_node_returns_to_service_after_remediation() {
+    let (sim, cloud, golden) = build(1);
+    let node = cloud.nodes()[0];
+    let m = cloud.machine(node);
+    let good_flash = m.flash();
+    m.reflash(good_flash.tampered(b"implant"));
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let r = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+        }
+    });
+    assert!(is_rejected(r));
+    // Provider remediates: reflash with the canonical build.
+    m.reflash(good_flash);
+    let r2 = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+        }
+    });
+    assert!(r2.is_ok(), "remediated node attests clean");
+}
+
+#[test]
+fn server_spoofing_detected_via_ek_binding() {
+    // HIL publishes each node's EK; the tenant cross-checks the EK the
+    // agent registered with. A different physical machine answering for
+    // the reserved one has a different EK.
+    let (sim, cloud, golden) = build(2);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let nodes = cloud.nodes();
+    sim.block_on({
+        let tenant = tenant.clone();
+        let nodes = nodes.clone();
+        async move {
+            tenant
+                .provision(nodes[0], &SecurityProfile::charlie(), golden)
+                .await
+                .expect("provisions");
+        }
+    });
+    // The agent on m620-01 registered with m620-01's EK:
+    assert!(tenant.verify_node_identity(nodes[0], "m620-01"));
+    // ...but its identity does NOT validate against node 2's published EK.
+    assert!(!tenant.verify_node_identity(nodes[1], "m620-01"));
+}
+
+// -- during occupancy --------------------------------------------------------
+
+#[test]
+fn during_occupancy_cross_tenant_frames_dropped() {
+    let (sim, cloud, golden) = build(2);
+    let t1 = Tenant::new(&cloud, "charlie").expect("tenant");
+    let t2 = Tenant::new(&cloud, "mallory").expect("tenant");
+    let nodes = cloud.nodes();
+    sim.block_on({
+        let (t1, t2) = (t1.clone(), t2.clone());
+        let nodes = nodes.clone();
+        async move {
+            t1.provision(nodes[0], &SecurityProfile::charlie(), golden)
+                .await
+                .expect("t1");
+            t2.provision(nodes[1], &SecurityProfile::alice(), golden)
+                .await
+                .expect("t2");
+        }
+    });
+    let h0 = cloud.hil.node_host(nodes[0]).expect("host");
+    let h1 = cloud.hil.node_host(nodes[1]).expect("host");
+    let before = cloud.fabric.isolation_violations();
+    let r = sim.block_on({
+        let fabric = cloud.fabric.clone();
+        async move {
+            fabric
+                .transfer(h1, h0, 4096, bolted::net::TransferSpec::plain())
+                .await
+        }
+    });
+    assert!(r.is_err(), "mallory cannot reach charlie's enclave");
+    assert_eq!(cloud.fabric.isolation_violations(), before + 1);
+}
+
+#[test]
+fn during_occupancy_eavesdropper_sees_only_ciphertext() {
+    let (sim, cloud, golden) = build(2);
+    cloud.fabric.enable_taps();
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let nodes = cloud.nodes();
+    let enclave = sim.block_on({
+        let (tenant, cloud) = (tenant.clone(), cloud.clone());
+        async move {
+            let mut members = Vec::new();
+            for n in nodes {
+                members.push(
+                    tenant
+                        .provision(n, &SecurityProfile::charlie(), golden)
+                        .await
+                        .expect("provisions"),
+                );
+            }
+            Enclave::form(&cloud, members)
+        }
+    });
+    // Application data crosses the mesh sealed; the provider's tap on the
+    // enclave VLAN captures no plaintext.
+    let secret = b"patient records batch 7";
+    let opened = enclave.tunnel_send(0, 1, secret).expect("delivers");
+    assert_eq!(opened, secret);
+    let vlan = cloud
+        .fabric
+        .host_vlan(enclave.host(0))
+        .expect("enclave vlan");
+    for frame in cloud.fabric.tapped(vlan) {
+        assert!(
+            !frame.windows(7).any(|w| w == b"patient"),
+            "plaintext leaked to the wire"
+        );
+    }
+}
+
+#[test]
+fn during_occupancy_runtime_compromise_detected_and_banned() {
+    let (sim, cloud, golden) = build(3);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let mut wl = ImaWhitelist::new();
+    wl.allow_content("/usr/bin/approved", b"fine");
+    tenant.set_ima_whitelist(wl);
+    let (report, banned, innocent_ok) = sim.block_on({
+        let (tenant, cloud) = (tenant.clone(), cloud.clone());
+        async move {
+            let mut members = Vec::new();
+            for n in cloud.nodes() {
+                members.push(
+                    tenant
+                        .provision(n, &SecurityProfile::charlie(), golden)
+                        .await
+                        .expect("provisions"),
+                );
+            }
+            let enclave = Enclave::form(&cloud, members);
+            let report =
+                revocation_experiment(&cloud, &tenant, &enclave, 1, SimDuration::from_secs(25))
+                    .await;
+            (
+                report,
+                enclave.tunnel_send(0, 1, b"x").is_err(),
+                enclave.tunnel_send(0, 2, b"y").is_ok(),
+            )
+        }
+    });
+    assert!(report.detection_latency().as_secs_f64() < 4.0);
+    assert!(report.total_latency().as_secs_f64() < 6.5, "paper: ≈3 s");
+    assert!(banned, "victim cryptographically banned");
+    assert!(innocent_ok, "bystanders unaffected");
+}
+
+// -- after occupancy ---------------------------------------------------------
+
+#[test]
+fn after_occupancy_ram_scrubbed_before_next_tenant() {
+    let (sim, cloud, golden) = build(1);
+    let node = cloud.nodes()[0];
+    let charlie = Tenant::new(&cloud, "charlie").expect("tenant");
+    let machine = cloud.machine(node);
+    sim.block_on({
+        let charlie = charlie.clone();
+        let machine = machine.clone();
+        async move {
+            let p = charlie
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+                .expect("provisions");
+            machine.write_secret_to_ram("charlie", b"luks master key");
+            charlie.release(p, false).await.expect("releases");
+        }
+    });
+    // Residue persists through power-off (cold boot threat)...
+    assert!(machine.ram_residue().is_some());
+    // ...until the next occupant's LinuxBoot runs and scrubs.
+    let eve = Tenant::new(&cloud, "eve").expect("tenant");
+    sim.block_on({
+        let eve = eve.clone();
+        async move {
+            // Power-cycle + firmware run happen inside provision; check
+            // the residue right after POST by provisioning fully.
+            eve.provision(node, &SecurityProfile::alice(), golden)
+                .await
+                .expect("provisions");
+        }
+    });
+    if let Some(r) = machine.ram_residue() {
+        assert_ne!(r.tenant, "charlie", "charlie's data must be gone");
+    }
+}
+
+#[test]
+fn after_occupancy_released_volume_deleted_from_storage() {
+    let (sim, cloud, golden) = build(1);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let node = cloud.nodes()[0];
+    sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            let p = tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+                .expect("provisions");
+            tenant.release(p, false).await.expect("releases");
+        }
+    });
+    assert!(
+        cloud.store.lookup("m620-01-root").is_none(),
+        "no persistent state survives release"
+    );
+}
+
+#[test]
+fn quote_replay_across_nodes_fails() {
+    // A compromised node cannot present a clean sibling's quote: the AIK
+    // is bound to each TPM via credential activation.
+    let (sim, cloud, golden) = build(2);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let nodes = cloud.nodes();
+    let (clean_evidence, verifier) = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            let p0 = tenant
+                .provision(nodes[0], &SecurityProfile::charlie(), golden)
+                .await
+                .expect("clean node");
+            let agent = p0.agent.clone().expect("agent");
+            let sel = tenant.verifier.config().boot_selection.clone();
+            let ev = agent
+                .attest(&tenant.sim(), [9; 32], &sel)
+                .await
+                .expect("attests");
+            (ev, tenant.verifier.clone())
+        }
+    });
+    // Presented for the wrong node id ("m620-02"), verification fails —
+    // the registrar has no certified AIK matching it.
+    let sel = verifier.config().boot_selection.clone();
+    let err = verifier
+        .verify_evidence("m620-02", &[9; 32], &sel, &clean_evidence)
+        .unwrap_err();
+    assert!(
+        err.contains("not certified") || err.contains("unknown"),
+        "{err}"
+    );
+}

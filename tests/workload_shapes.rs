@@ -1,0 +1,125 @@
+//! Runs the paper's workloads on *actually provisioned* enclaves —
+//! integrating core provisioning with the workload models, rather than
+//! the standalone fabrics the unit tests use.
+
+use bolted::core::{Cloud, CloudConfig, Enclave, SecurityProfile, Tenant};
+use bolted::crypto::CipherSuite;
+use bolted::firmware::KernelImage;
+use bolted::sim::Sim;
+use bolted::workloads::{
+    run_npb, run_terasort, CommGroup, NpbKernel, SecurityVariant, TeraSortConfig,
+};
+
+/// Provisions `n` nodes under `profile` and returns the enclave plus the
+/// simulation it lives on.
+fn provisioned_enclave(n: usize, profile: SecurityProfile) -> (Sim, Cloud, Enclave) {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes: n,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .expect("golden");
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let enclave = sim.block_on({
+        let (tenant, cloud) = (tenant.clone(), cloud.clone());
+        async move {
+            let mut members = Vec::new();
+            for node in cloud.nodes() {
+                members.push(
+                    tenant
+                        .provision(node, &profile, golden)
+                        .await
+                        .expect("provisions"),
+                );
+            }
+            Enclave::form(&cloud, members)
+        }
+    });
+    (sim, cloud, enclave)
+}
+
+fn comm_group(sim: &Sim, cloud: &Cloud, enclave: &Enclave) -> CommGroup {
+    let hosts = (0..enclave.len()).map(|i| enclave.host(i)).collect();
+    let cipher = enclave.encrypted.then(|| CipherSuite::AesNi.default_cost());
+    CommGroup::new(sim, &cloud.fabric, hosts, cipher)
+}
+
+#[test]
+fn npb_on_a_real_bob_enclave_runs_plain() {
+    let (sim, cloud, enclave) = provisioned_enclave(8, SecurityProfile::bob());
+    assert!(!enclave.encrypted, "bob does not encrypt");
+    let group = comm_group(&sim, &cloud, &enclave);
+    let r = sim.block_on({
+        let sim2 = sim.clone();
+        async move { run_npb(&sim2, &group, NpbKernel::Ep).await }
+    });
+    assert!(!r.encrypted);
+    assert!(r.duration.as_secs_f64() > 1.0);
+}
+
+#[test]
+fn cg_on_real_enclaves_shows_the_figure_7_gap() {
+    let (sim_p, cloud_p, enclave_p) = provisioned_enclave(8, SecurityProfile::bob());
+    let group_p = comm_group(&sim_p, &cloud_p, &enclave_p);
+    let plain = sim_p.block_on({
+        let sim2 = sim_p.clone();
+        async move { run_npb(&sim2, &group_p, NpbKernel::Cg).await }
+    });
+    let (sim_e, cloud_e, enclave_e) = provisioned_enclave(8, SecurityProfile::charlie());
+    assert!(enclave_e.encrypted);
+    let group_e = comm_group(&sim_e, &cloud_e, &enclave_e);
+    let enc = sim_e.block_on({
+        let sim2 = sim_e.clone();
+        async move { run_npb(&sim2, &group_e, NpbKernel::Cg).await }
+    });
+    let factor = enc.duration.as_secs_f64() / plain.duration.as_secs_f64();
+    assert!(
+        factor > 2.0,
+        "CG through a real Charlie enclave must blow up: {factor:.2}x"
+    );
+}
+
+#[test]
+fn terasort_on_a_real_charlie_enclave() {
+    let (sim, cloud, enclave) = provisioned_enclave(16, SecurityProfile::charlie());
+    let group = comm_group(&sim, &cloud, &enclave);
+    let cfg = TeraSortConfig {
+        dataset_bytes: 16 << 30,
+        ..TeraSortConfig::default()
+    };
+    let r = sim.block_on({
+        let sim2 = sim.clone();
+        async move { run_terasort(&sim2, &group, SecurityVariant::LuksIpsec, cfg).await }
+    });
+    assert_eq!(r.nodes, 16);
+    assert!(r.duration.as_secs_f64() > 10.0);
+}
+
+#[test]
+fn workload_traffic_counts_against_the_enclave_hosts() {
+    let (sim, cloud, enclave) = provisioned_enclave(4, SecurityProfile::bob());
+    let group = comm_group(&sim, &cloud, &enclave);
+    let before: u64 = (0..4)
+        .map(|i| cloud.fabric.host_traffic(enclave.host(i)).0)
+        .sum();
+    sim.block_on({
+        let sim2 = sim.clone();
+        async move {
+            run_npb(&sim2, &group, NpbKernel::Mg).await;
+        }
+    });
+    let after: u64 = (0..4)
+        .map(|i| cloud.fabric.host_traffic(enclave.host(i)).0)
+        .sum();
+    assert!(
+        after > before + (100 << 20),
+        "MG moved real bytes over the provisioned fabric"
+    );
+}
