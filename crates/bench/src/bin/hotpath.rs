@@ -1,0 +1,13 @@
+//! Hot-path micro-bench: JSON lines on stdout, one per measurement plus
+//! a summary speedup line per benchmark. `--quick` shrinks iteration
+//! counts so the suite fits in a test run.
+//!
+//! ```text
+//! cargo run --release -p bolted-bench --bin hotpath [-- --quick]
+//! ```
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let records = bolted_bench::hotpath::run(quick);
+    print!("{}", bolted_bench::hotpath::to_json_lines(&records));
+}

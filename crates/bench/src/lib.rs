@@ -5,6 +5,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod hotpath;
+
 /// Prints a figure banner with the paper reference.
 pub fn banner(title: &str, paper_ref: &str) {
     println!("==============================================================");

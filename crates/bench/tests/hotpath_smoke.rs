@@ -1,0 +1,52 @@
+//! Smoke test for the hot-path micro-bench: the kernels must keep their
+//! speedups (generous margins — CI boxes are noisy) and the binary must
+//! run end to end in `--quick` mode.
+
+use bolted_bench::hotpath;
+
+#[test]
+fn quick_run_reports_montgomery_speedup() {
+    let records = hotpath::run(true);
+    for bench in [
+        "rsa_verify_2048",
+        "modpow_2048_full_exp",
+        "sha256",
+        "sector_encrypt",
+    ] {
+        assert_eq!(
+            records.iter().filter(|r| r.bench == bench).count(),
+            2,
+            "{bench} needs baseline + optimised variants"
+        );
+    }
+    // ISSUE 2 acceptance: >= 5x on 2048-bit RSA verify; assert 3x so a
+    // loaded machine does not flake the suite.
+    let verify = hotpath::speedup(&records, "rsa_verify_2048").expect("pair");
+    assert!(verify >= 3.0, "rsa_verify_2048 speedup {verify:.2}x < 3x");
+    let modpow = hotpath::speedup(&records, "modpow_2048_full_exp").expect("pair");
+    assert!(modpow >= 3.0, "modpow speedup {modpow:.2}x < 3x");
+    // The symmetric kernels must at least not regress.
+    for bench in ["sha256", "sector_encrypt"] {
+        let s = hotpath::speedup(&records, bench).expect("pair");
+        assert!(s >= 0.8, "{bench} regressed: {s:.2}x");
+    }
+}
+
+#[test]
+fn hotpath_binary_emits_json_lines() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hotpath"))
+        .arg("--quick")
+        .output()
+        .expect("hotpath runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.lines().count() >= 10, "expected one line per record");
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains("\"bench\":"));
+    }
+    assert!(stdout.contains("\"speedup\":"));
+}

@@ -270,15 +270,13 @@ mod tests {
         golden: bolted_storage::ImageId,
         n: usize,
     ) -> Enclave {
-        let mut members = Vec::new();
-        for node in cloud.nodes().into_iter().take(n) {
-            members.push(
-                tenant
-                    .provision(node, &SecurityProfile::charlie(), golden)
-                    .await
-                    .expect("provisions"),
-            );
-        }
+        let nodes: Vec<_> = cloud.nodes().into_iter().take(n).collect();
+        let members = tenant
+            .provision_fleet(&nodes, &SecurityProfile::charlie(), golden)
+            .await
+            .into_iter()
+            .map(|r| r.expect("provisions"))
+            .collect();
         Enclave::form(cloud, members)
     }
 
@@ -377,15 +375,13 @@ mod plain_enclave_tests {
         let enclave = sim.block_on({
             let (tenant, cloud) = (tenant.clone(), cloud.clone());
             async move {
-                let mut members = Vec::new();
-                for n in cloud.nodes() {
-                    members.push(
-                        tenant
-                            .provision(n, &SecurityProfile::bob(), golden)
-                            .await
-                            .expect("provisions"),
-                    );
-                }
+                let nodes = cloud.nodes();
+                let members = tenant
+                    .provision_fleet(&nodes, &SecurityProfile::bob(), golden)
+                    .await
+                    .into_iter()
+                    .map(|r| r.expect("provisions"))
+                    .collect();
                 Enclave::form(&cloud, members)
             }
         });

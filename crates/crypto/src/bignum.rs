@@ -324,11 +324,34 @@ impl BigUint {
     }
 
     /// `self mod m`.
+    ///
+    /// Values already below the modulus are returned directly without
+    /// running the full division (the common case inside modular loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
     pub fn rem(&self, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "BigUint division by zero");
+        if self < m {
+            return self.clone();
+        }
         self.divrem(m).1
     }
 
+    /// `self * rhs mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mul_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(rhs).rem(m)
+    }
+
     /// Modular exponentiation `self^exp mod m` (square-and-multiply).
+    ///
+    /// This is the legacy path with a full reduction after every multiply;
+    /// prefer [`BigUint::modpow_montgomery`] for odd moduli.
     ///
     /// # Panics
     ///
@@ -343,13 +366,52 @@ impl BigUint {
         let nbits = exp.bits();
         for i in 0..nbits {
             if exp.bit(i) {
-                result = result.mul(&base).rem(m);
+                result = result.mul_mod(&base, m);
             }
             if i + 1 < nbits {
-                base = base.mul(&base).rem(m);
+                base = base.mul_mod(&base, m);
             }
         }
         result
+    }
+
+    /// Modular exponentiation through a Montgomery context when the modulus
+    /// is odd (the RSA case), falling back to [`BigUint::modpow`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow_montgomery(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        match crate::montgomery::Montgomery::new(m) {
+            Some(ctx) => ctx.pow(self, exp),
+            None => self.modpow(exp, m),
+        }
+    }
+
+    /// Little-endian `u64` limbs padded with zeros to exactly `k` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `k` limbs.
+    pub(crate) fn to_u64_limbs(&self, k: usize) -> Vec<u64> {
+        assert!(self.limbs.len() <= 2 * k, "value does not fit in {k} limbs");
+        let mut out = vec![0u64; k];
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            out[i / 2] |= u64::from(limb) << (32 * (i % 2));
+        }
+        out
+    }
+
+    /// Builds a value from little-endian `u64` limbs.
+    pub(crate) fn from_u64_limbs(limbs: &[u64]) -> BigUint {
+        let mut out = Vec::with_capacity(limbs.len() * 2);
+        for &l in limbs {
+            out.push(l as u32);
+            out.push((l >> 32) as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
     }
 
     /// Greatest common divisor (Euclid).
@@ -641,6 +703,40 @@ mod tests {
         for a in [2u64, 3, 999, 123456, 1_000_000_006] {
             let inv = n(a).modinv(&m).expect("prime modulus");
             assert_eq!(n(a).mul(&inv).rem(&m), BigUint::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn rem_early_return_when_below_modulus() {
+        let m = n(1000);
+        assert_eq!(n(999).rem(&m), n(999));
+        assert_eq!(BigUint::zero().rem(&m), BigUint::zero());
+        assert_eq!(n(1000).rem(&m), BigUint::zero());
+        assert_eq!(n(1001).rem(&m), n(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn rem_by_zero_panics() {
+        n(5).rem(&n(0));
+    }
+
+    #[test]
+    fn mul_mod_matches_mul_then_rem() {
+        let m = n(97);
+        for (a, b) in [(0u64, 5u64), (13, 17), (96, 96), (1 << 40, 3)] {
+            assert_eq!(n(a).mul_mod(&n(b), &m), n(a).mul(&n(b)).divrem(&m).1);
+        }
+    }
+
+    #[test]
+    fn u64_limbs_round_trip() {
+        for bytes in [&[0x12u8, 0x34, 0x56][..], &[0xFF; 20][..], &[][..]] {
+            let v = BigUint::from_bytes_be(bytes);
+            let k = (v.bits().div_ceil(64)).max(1);
+            assert_eq!(BigUint::from_u64_limbs(&v.to_u64_limbs(k)), v);
+            // Extra padding limbs must not change the value.
+            assert_eq!(BigUint::from_u64_limbs(&v.to_u64_limbs(k + 3)), v);
         }
     }
 

@@ -23,16 +23,18 @@ pub mod cost;
 pub mod ct;
 pub mod hmac;
 pub mod luks;
+pub mod montgomery;
 pub mod prime;
 pub mod rsa;
 pub mod sha256;
 
 pub use aead::{Aead, AeadError};
 pub use bignum::BigUint;
-pub use chacha20::Key;
+pub use chacha20::{ChaCha20, Key};
 pub use cost::{CipherCost, CipherSuite};
 pub use hmac::{hkdf, hmac_sha256, hmac_verify};
 pub use luks::{BlockDevice, BlockError, LuksDevice, RamDisk, SECTOR_SIZE};
+pub use montgomery::Montgomery;
 pub use prime::{RandomSource, XorShiftSource};
 pub use rsa::{generate_keypair, keypair_from_seed, KeyPair, PrivateKey, PublicKey, RsaError};
 pub use sha256::{sha256, sha256_concat, Digest, Sha256};

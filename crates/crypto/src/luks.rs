@@ -9,7 +9,7 @@
 //! only ciphertext.
 
 use crate::aead::{Aead, TAG_LEN};
-use crate::chacha20::{chacha20_xor, Key, KEY_LEN};
+use crate::chacha20::{ChaCha20, Key, KEY_LEN};
 use crate::hmac::hkdf;
 use crate::prime::RandomSource;
 use crate::sha256::{sha256, Digest};
@@ -233,6 +233,9 @@ fn kek_from_passphrase(passphrase: &[u8], salt: &[u8]) -> Key {
 pub struct LuksDevice<D: BlockDevice> {
     inner: D,
     master: Key,
+    /// Keystream cipher with the master key schedule parsed once; every
+    /// sector (8 ChaCha20 blocks) reuses it instead of re-deriving state.
+    cipher: ChaCha20,
     uuid: [u8; 16],
 }
 
@@ -266,6 +269,7 @@ impl<D: BlockDevice> LuksDevice<D> {
         Self::write_header(&mut device, &header)?;
         Ok(LuksDevice {
             inner: device,
+            cipher: ChaCha20::new(&master),
             master,
             uuid,
         })
@@ -282,6 +286,7 @@ impl<D: BlockDevice> LuksDevice<D> {
                 if sha256(&master.0) == header.mk_digest {
                     return Ok(LuksDevice {
                         inner: device,
+                        cipher: ChaCha20::new(&master),
                         master,
                         uuid: header.uuid,
                     });
@@ -373,7 +378,7 @@ impl<D: BlockDevice> LuksDevice<D> {
         // tweak. Counter 0 is fine: one keystream per (key, sector).
         let mut nonce = [0u8; 12];
         nonce[..8].copy_from_slice(&sector.to_le_bytes());
-        chacha20_xor(&self.master, &nonce, 0, buf);
+        self.cipher.xor(&nonce, 0, buf);
     }
 }
 

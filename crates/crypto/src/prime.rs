@@ -6,6 +6,7 @@
 //! keeps TPM identities reproducible across simulation runs.
 
 use crate::bignum::BigUint;
+use crate::montgomery::Montgomery;
 
 /// A deterministic RNG source for prime generation; implemented by
 /// `bolted_sim::Rng` in practice, duplicated here as a tiny trait so this
@@ -64,9 +65,10 @@ const DETERMINISTIC_BASES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 
 /// (error probability < 4^-24).
 const RANDOM_ROUNDS: usize = 24;
 
-/// Miller–Rabin strong-probable-prime test to base `a`.
+/// Miller–Rabin strong-probable-prime test to base `a`, using a shared
+/// Montgomery context for `n` (candidates are always odd here).
 /// Requires odd `n > 2` and `1 < a < n - 1`.
-fn sprp(n: &BigUint, a: &BigUint) -> bool {
+fn sprp(n: &BigUint, a: &BigUint, ctx: &Montgomery) -> bool {
     let one = BigUint::one();
     let n_minus_1 = n.sub(&one);
     // Write n-1 = d * 2^r.
@@ -76,12 +78,12 @@ fn sprp(n: &BigUint, a: &BigUint) -> bool {
         d = d.shr(1);
         r += 1;
     }
-    let mut x = a.modpow(&d, n);
+    let mut x = ctx.pow(a, &d);
     if x == one || x == n_minus_1 {
         return true;
     }
     for _ in 0..r - 1 {
-        x = x.mul(&x).rem(n);
+        x = ctx.mul_mod(&x, &x);
         if x == n_minus_1 {
             return true;
         }
@@ -103,11 +105,13 @@ pub fn is_prime(n: &BigUint, rng: &mut dyn RandomSource) -> bool {
             return false;
         }
     }
-    // n > 251 and odd from here on.
+    // n > 251 and odd from here on; one Montgomery context serves every
+    // base tested against this candidate.
+    let ctx = Montgomery::new(n).expect("candidate is odd and > 1");
     if n.bits() <= 81 {
         // Deterministic for anything that fits well under 3.3e24.
         for &b in &DETERMINISTIC_BASES {
-            if !sprp(n, &BigUint::from_u64(b)) {
+            if !sprp(n, &BigUint::from_u64(b), &ctx) {
                 return false;
             }
         }
@@ -117,7 +121,7 @@ pub fn is_prime(n: &BigUint, rng: &mut dyn RandomSource) -> bool {
     let n_minus_3 = n.sub(&BigUint::from_u64(3));
     for _ in 0..RANDOM_ROUNDS {
         let a = random_below(&n_minus_3, rng).add(&BigUint::from_u64(2));
-        if !sprp(n, &a) {
+        if !sprp(n, &a, &ctx) {
             return false;
         }
     }

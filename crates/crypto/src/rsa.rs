@@ -7,7 +7,10 @@
 //! keys (and tests often use 512) to keep runs fast — the protocol logic
 //! is identical at 2048.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::bignum::BigUint;
+use crate::montgomery::Montgomery;
 use crate::prime::{gen_prime, RandomSource};
 use crate::sha256::{sha256, Digest};
 
@@ -41,12 +44,38 @@ impl std::fmt::Display for RsaError {
 impl std::error::Error for RsaError {}
 
 /// An RSA public key `(n, e)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries a lazily-built [`Montgomery`] context for the modulus, shared
+/// across clones (and threads) so repeated verifications against the same
+/// key — the fleet-attestation hot path — pay the context setup once.
+#[derive(Clone)]
 pub struct PublicKey {
     n: BigUint,
     e: BigUint,
     /// Modulus length in bytes.
     k: usize,
+    /// Cached Montgomery context for `n`; `None` inside if `n` is even
+    /// (never the case for real RSA moduli, but kept total).
+    mont: Arc<OnceLock<Option<Montgomery>>>,
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The Montgomery cache is derived state and excluded on purpose.
+        self.n == other.n && self.e == other.e && self.k == other.k
+    }
+}
+
+impl Eq for PublicKey {}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublicKey")
+            .field("n", &self.n)
+            .field("e", &self.e)
+            .field("k", &self.k)
+            .finish()
+    }
 }
 
 /// CRT acceleration parameters (RFC 8017 §3.2, second representation).
@@ -123,6 +152,7 @@ pub fn generate_keypair(bits: usize, rng: &mut dyn RandomSource) -> KeyPair {
             n: n.clone(),
             e: e.clone(),
             k,
+            mont: Arc::new(OnceLock::new()),
         };
         return KeyPair {
             private: PrivateKey {
@@ -141,6 +171,19 @@ impl PublicKey {
         self.k
     }
 
+    /// The cached Montgomery context for `n`, built on first use.
+    fn mont_ctx(&self) -> Option<&Montgomery> {
+        self.mont.get_or_init(|| Montgomery::new(&self.n)).as_ref()
+    }
+
+    /// Public exponentiation `m^e mod n`.
+    fn public_exp(&self, m: &BigUint) -> BigUint {
+        match self.mont_ctx() {
+            Some(ctx) => ctx.pow(m, &self.e),
+            None => m.modpow(&self.e, &self.n),
+        }
+    }
+
     /// A stable fingerprint of the key (SHA-256 over `n || e`).
     pub fn fingerprint(&self) -> Digest {
         let mut data = self.n.to_bytes_be();
@@ -157,7 +200,7 @@ impl PublicKey {
         if s >= self.n {
             return false;
         }
-        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(self.k);
+        let em = self.public_exp(&s).to_bytes_be_padded(self.k);
         let expect = match emsa_pkcs1_v15(message, self.k) {
             Ok(em) => em,
             Err(_) => return false,
@@ -188,7 +231,7 @@ impl PublicKey {
         em.push(0x00);
         em.extend_from_slice(message);
         let m = BigUint::from_bytes_be(&em);
-        Ok(m.modpow(&self.e, &self.n).to_bytes_be_padded(self.k))
+        Ok(self.public_exp(&m).to_bytes_be_padded(self.k))
     }
 }
 
@@ -198,14 +241,16 @@ impl PrivateKey {
         &self.public
     }
 
-    /// Private exponentiation `m^d mod n`, via CRT when available.
+    /// Private exponentiation `m^d mod n`, via CRT when available. Both
+    /// the full-size and half-size exponentiations run in Montgomery form
+    /// (RSA primes are odd, so the context always exists).
     fn private_exp(&self, m: &BigUint) -> BigUint {
         let Some(crt) = &self.crt else {
-            return m.modpow(&self.d, &self.public.n);
+            return m.modpow_montgomery(&self.d, &self.public.n);
         };
-        // Garner's recombination.
-        let m1 = m.modpow(&crt.dp, &crt.p);
-        let m2 = m.modpow(&crt.dq, &crt.q);
+        // Garner's recombination over the two half-size halves.
+        let m1 = m.modpow_montgomery(&crt.dp, &crt.p);
+        let m2 = m.modpow_montgomery(&crt.dq, &crt.q);
         // h = qinv * (m1 - m2) mod p, computed over non-negative values.
         let m2_mod_p = m2.rem(&crt.p);
         let diff = if m1 >= m2_mod_p {
@@ -213,7 +258,7 @@ impl PrivateKey {
         } else {
             m1.add(&crt.p).sub(&m2_mod_p)
         };
-        let h = crt.qinv.mul(&diff).rem(&crt.p);
+        let h = crt.qinv.mul_mod(&diff, &crt.p);
         m2.add(&crt.q.mul(&h))
     }
 

@@ -11,10 +11,12 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
-use bolted_sim::{channel, JoinHandle, Receiver, Sender, Sim, SimDuration, SimTime};
-use bolted_tpm::{index, PcrBank};
+use bolted_sim::{channel, join_all, JoinHandle, Receiver, Sender, Sim, SimDuration, SimTime};
+use bolted_tpm::{index, PcrBank, Quote};
 
 use crate::agent::{Agent, AttestationEvidence};
 use crate::ima::ImaWhitelist;
@@ -101,7 +103,10 @@ struct NodeState {
     payload_wire_bytes: u64,
     status: NodeStatus,
     bootstrapped: bool,
-    quotes_verified: u64,
+    /// Atomic so concurrent attestation rounds (and any future
+    /// off-sim-thread accounting) increment without read-modify-write
+    /// races; reads use `Ordering::Relaxed` — it is a plain counter.
+    quotes_verified: AtomicU64,
     detected_at: Option<SimTime>,
     stop: bool,
 }
@@ -110,6 +115,22 @@ struct VerifierInner {
     nodes: HashMap<String, NodeState>,
     subscribers: Vec<Sender<RevocationEvent>>,
     nonce_counter: u64,
+    /// AIK→verified-key cache: repeated quotes from the same node skip the
+    /// registrar lookup (invalidated on signature mismatch so a node that
+    /// re-registers with a fresh AIK is re-fetched, not rejected), and the
+    /// cached [`PublicKey`] clones share one
+    /// Montgomery context, so only the first verification pays setup.
+    aik_cache: HashMap<String, PublicKey>,
+}
+
+/// Evidence collected from an agent, awaiting verification — the output
+/// of the network/quote half of an attestation round.
+struct PendingAttest {
+    node_id: String,
+    agent: Agent,
+    nonce: [u8; 32],
+    selection: Vec<usize>,
+    evidence: AttestationEvidence,
 }
 
 /// The Cloud Verifier service (tenant-deployable).
@@ -132,6 +153,7 @@ impl Verifier {
                 nodes: HashMap::new(),
                 subscribers: Vec::new(),
                 nonce_counter: 0,
+                aik_cache: HashMap::new(),
             })),
         }
     }
@@ -164,7 +186,7 @@ impl Verifier {
                 payload_wire_bytes,
                 status: NodeStatus::Pending,
                 bootstrapped: false,
-                quotes_verified: 0,
+                quotes_verified: AtomicU64::new(0),
                 detected_at: None,
                 stop: false,
             },
@@ -198,7 +220,7 @@ impl Verifier {
             .borrow()
             .nodes
             .get(node_id)
-            .map_or(0, |n| n.quotes_verified)
+            .map_or(0, |n| n.quotes_verified.load(Ordering::Relaxed))
     }
 
     fn fresh_nonce(&self) -> [u8; 32] {
@@ -212,6 +234,20 @@ impl Verifier {
         *d.as_bytes()
     }
 
+    /// Looks up a node's certified AIK, consulting the verifier's cache
+    /// before the registrar.
+    fn certified_aik_cached(&self, node_id: &str) -> Option<PublicKey> {
+        if let Some(aik) = self.inner.borrow().aik_cache.get(node_id) {
+            return Some(aik.clone());
+        }
+        let aik = self.registrar.certified_aik(node_id)?;
+        self.inner
+            .borrow_mut()
+            .aik_cache
+            .insert(node_id.to_string(), aik.clone());
+        Some(aik)
+    }
+
     /// Verifies evidence against the node's whitelists (pure check, no
     /// timing). Exposed for tests and custom tenant flows.
     pub fn verify_evidence(
@@ -221,17 +257,49 @@ impl Verifier {
         selection: &[usize],
         evidence: &AttestationEvidence,
     ) -> Result<(), String> {
-        let inner = self.inner.borrow();
-        let node = inner.nodes.get(node_id).ok_or("unknown node")?;
+        self.verify_evidence_inner(node_id, nonce, selection, evidence, None)
+    }
+
+    /// As [`Verifier::verify_evidence`], but the RSA quote-signature check
+    /// may have been precomputed (on a worker thread by
+    /// [`Verifier::attest_many`]); `None` means check it here. The check
+    /// *order* is identical either way, so failure reasons — and therefore
+    /// [`AttestOutcome`]s — match the sequential path exactly.
+    fn verify_evidence_inner(
+        &self,
+        node_id: &str,
+        nonce: &[u8; 32],
+        selection: &[usize],
+        evidence: &AttestationEvidence,
+        precomputed_sig: Option<bool>,
+    ) -> Result<(), String> {
+        if !self.inner.borrow().nodes.contains_key(node_id) {
+            return Err("unknown node".into());
+        }
         // 1. The AIK must be certified by the registrar.
         let aik = self
-            .registrar
-            .certified_aik(node_id)
+            .certified_aik_cached(node_id)
             .ok_or("AIK not certified by registrar")?;
         // 2. Signature and freshness.
-        if !evidence.quote.verify(&aik) {
+        let mut sig_ok = precomputed_sig.unwrap_or_else(|| evidence.quote.verify(&aik));
+        if !sig_ok {
+            // The node may have re-registered with a fresh AIK since the
+            // cache entry was filled (remediation reboot, warm restart):
+            // invalidate, re-fetch, and retry once before declaring the
+            // quote bad. Genuinely forged quotes still fail — twice.
+            self.inner.borrow_mut().aik_cache.remove(node_id);
+            let fresh = self
+                .certified_aik_cached(node_id)
+                .ok_or("AIK not certified by registrar")?;
+            if fresh != aik {
+                sig_ok = evidence.quote.verify(&fresh);
+            }
+        }
+        if !sig_ok {
             return Err("quote signature invalid".into());
         }
+        let inner = self.inner.borrow();
+        let node = inner.nodes.get(node_id).ok_or("unknown node")?;
         if &evidence.quote.nonce != nonce {
             return Err("stale nonce (replay?)".into());
         }
@@ -282,10 +350,25 @@ impl Verifier {
     /// Runs one attestation round against a node, charging quote,
     /// network and verification time. `continuous` selects the PCR set.
     pub async fn attest_once(&self, node_id: &str, continuous: bool) -> AttestOutcome {
+        match self.collect_evidence(node_id, continuous).await {
+            Ok(pending) => self.finish_attest(pending, None).await,
+            Err(reason) => AttestOutcome::Failed(reason),
+        }
+    }
+
+    /// Network/quote half of an attestation round: nonce, RTTs, the
+    /// agent's quote, and the verification CPU budget. Agent failures are
+    /// recorded (and broadcast) here so the concurrent and sequential
+    /// paths fail identically.
+    async fn collect_evidence(
+        &self,
+        node_id: &str,
+        continuous: bool,
+    ) -> Result<PendingAttest, String> {
         let (agent, selection) = {
             let inner = self.inner.borrow();
             let Some(node) = inner.nodes.get(node_id) else {
-                return AttestOutcome::Failed("unknown node".into());
+                return Err("unknown node".into());
             };
             let sel = if continuous {
                 self.config.continuous_selection.clone()
@@ -302,18 +385,46 @@ impl Verifier {
                 let reason = format!("agent error: {e}");
                 self.fail_node(node_id, &reason);
                 self.broadcast_revocation(node_id, &reason).await;
-                return AttestOutcome::Failed(reason);
+                return Err(reason);
             }
         };
         self.sim.sleep(self.config.rtt).await;
         self.sim.sleep(self.config.verify_cost).await;
-        match self.verify_evidence(node_id, &nonce, &selection, &evidence) {
+        Ok(PendingAttest {
+            node_id: node_id.to_string(),
+            agent,
+            nonce,
+            selection,
+            evidence,
+        })
+    }
+
+    /// Verdict half of an attestation round: evidence checks, node state
+    /// update, first-success payload delivery or revocation broadcast.
+    async fn finish_attest(
+        &self,
+        pending: PendingAttest,
+        precomputed_sig: Option<bool>,
+    ) -> AttestOutcome {
+        let PendingAttest {
+            node_id,
+            agent,
+            nonce,
+            selection,
+            evidence,
+        } = pending;
+        match self.verify_evidence_inner(&node_id, &nonce, &selection, &evidence, precomputed_sig) {
             Ok(()) => {
                 let deliver = {
                     let mut inner = self.inner.borrow_mut();
-                    let node = inner.nodes.get_mut(node_id).expect("checked above");
-                    node.status = NodeStatus::Trusted;
-                    node.quotes_verified += 1;
+                    let node = inner.nodes.get_mut(&node_id).expect("checked above");
+                    // Revocation is sticky: a concurrent round may have
+                    // failed this node between our verification and this
+                    // update, and a late success must not un-revoke it.
+                    if !matches!(node.status, NodeStatus::Failed(_)) {
+                        node.status = NodeStatus::Trusted;
+                    }
+                    node.quotes_verified.fetch_add(1, Ordering::Relaxed);
                     if !node.bootstrapped && node.v_share.is_some() {
                         node.bootstrapped = true;
                         Some((
@@ -335,11 +446,62 @@ impl Verifier {
                 AttestOutcome::Trusted
             }
             Err(reason) => {
-                self.fail_node(node_id, &reason);
-                self.broadcast_revocation(node_id, &reason).await;
+                self.fail_node(&node_id, &reason);
+                self.broadcast_revocation(&node_id, &reason).await;
                 AttestOutcome::Failed(reason)
             }
         }
+    }
+
+    /// Attests a fleet of nodes concurrently; returns one outcome per
+    /// node, in input order, each identical to what a sequential
+    /// [`Verifier::attest_once`] would have produced.
+    ///
+    /// Per-node quote collection runs as concurrent sim tasks, so the
+    /// RTTs, TPM quote times and verification budgets overlap in
+    /// *simulated* time instead of accumulating. Between the two sim
+    /// phases, the RSA quote-signature checks — pure CPU, the *wall-clock*
+    /// hot spot — run on a small `std::thread` pool when the
+    /// `parallel-verify` feature is enabled (default).
+    pub async fn attest_many(&self, node_ids: &[String], continuous: bool) -> Vec<AttestOutcome> {
+        // Phase 1: collect evidence from every node concurrently.
+        let handles: Vec<_> = node_ids
+            .iter()
+            .map(|id| {
+                let this = self.clone();
+                let id = id.clone();
+                self.sim
+                    .spawn(async move { this.collect_evidence(&id, continuous).await })
+            })
+            .collect();
+        let collected = join_all(handles).await;
+        // Phase 2: batch-verify quote signatures off the sim thread.
+        let jobs: Vec<Option<(Quote, PublicKey)>> = collected
+            .iter()
+            .map(|c| match c {
+                Ok(p) => self
+                    .certified_aik_cached(&p.node_id)
+                    .map(|aik| (p.evidence.quote.clone(), aik)),
+                Err(_) => None,
+            })
+            .collect();
+        let sigs = verify_quote_batch(&jobs);
+        // Phase 3: apply verdicts (and payload delivery / revocation
+        // timing) concurrently, preserving input order in the result.
+        let handles: Vec<_> = collected
+            .into_iter()
+            .zip(sigs)
+            .map(|(c, sig)| {
+                let this = self.clone();
+                self.sim.spawn(async move {
+                    match c {
+                        Ok(pending) => this.finish_attest(pending, sig).await,
+                        Err(reason) => AttestOutcome::Failed(reason),
+                    }
+                })
+            })
+            .collect();
+        join_all(handles).await
     }
 
     fn fail_node(&self, node_id: &str, reason: &str) {
@@ -384,6 +546,60 @@ impl Verifier {
             n.stop = true;
         }
     }
+}
+
+/// Verifies a batch of quote signatures; `None` entries (no evidence or no
+/// certified AIK) pass through as `None`. Quotes and keys are `Send`, so
+/// with the `parallel-verify` feature the batch fans out over a small
+/// thread pool; tiny batches stay serial to skip thread spawn overhead.
+fn verify_quote_batch(jobs: &[Option<(Quote, PublicKey)>]) -> Vec<Option<bool>> {
+    #[cfg(feature = "parallel-verify")]
+    {
+        if jobs.iter().flatten().count() >= 2 {
+            return verify_quote_batch_parallel(jobs);
+        }
+    }
+    jobs.iter()
+        .map(|j| j.as_ref().map(|(q, aik)| q.verify(aik)))
+        .collect()
+}
+
+#[cfg(feature = "parallel-verify")]
+fn verify_quote_batch_parallel(jobs: &[Option<(Quote, PublicKey)>]) -> Vec<Option<bool>> {
+    use std::sync::atomic::AtomicUsize;
+
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
+        .min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<bool>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Atomic work queue: RSA verify times vary with the
+                    // Montgomery cache state, so static chunking would
+                    // leave threads idle.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        if let Some((quote, aik)) = job {
+                            local.push((i, quote.verify(aik)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, ok) in worker.join().expect("verify worker panicked") {
+                out[i] = Some(ok);
+            }
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -798,5 +1014,174 @@ mod delivery_tests {
             outcomes.2
         );
         assert_eq!(verifier.quotes_verified("node-1"), 2);
+    }
+}
+
+#[cfg(test)]
+mod fleet_tests {
+    use super::*;
+    use crate::agent::agent_binary_digest;
+    use bolted_crypto::prime::XorShiftSource;
+    use bolted_firmware::{FirmwareKind, FirmwareSource, Machine};
+
+    /// Builds a fleet of `n` machines named `node-0..n`; indices listed in
+    /// `tampered` boot a firmware build the tenant never approved. Returns
+    /// per-node outcomes and the simulated seconds the attestation phase
+    /// took (setup excluded).
+    fn run_fleet(n: usize, tampered: &[usize], batched: bool) -> (Vec<AttestOutcome>, f64) {
+        let sim = Sim::new();
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "heads-1.0", b"src").build();
+        let evil = fw.tampered(b"bootkit");
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&sim, &registrar, VerifierConfig::default());
+        let mut wl = HashSet::new();
+        wl.insert(fw.build_id);
+        wl.insert(agent_binary_digest());
+        let machines: Vec<Machine> = (0..n)
+            .map(|i| {
+                let image = if tampered.contains(&i) {
+                    evil.clone()
+                } else {
+                    fw.clone()
+                };
+                let m = Machine::new(format!("node-{i}"), image, 7 + i as u64, 512, 64);
+                m.power_on();
+                m
+            })
+            .collect();
+        sim.block_on({
+            let sim = sim.clone();
+            let registrar = registrar.clone();
+            let verifier = verifier.clone();
+            async move {
+                let mut ids = Vec::new();
+                for (i, m) in machines.iter().enumerate() {
+                    m.run_firmware(&sim).await.expect("boots");
+                    m.measure_download("keylime-agent", agent_binary_digest())
+                        .expect("measures");
+                    let agent = Agent::start(&sim, format!("node-{i}"), m).await;
+                    let mut rng = XorShiftSource::new(11 + i as u64);
+                    agent
+                        .register(&sim, &registrar, &mut rng)
+                        .await
+                        .expect("registers");
+                    verifier.add_node(
+                        &agent,
+                        wl.clone(),
+                        ImaWhitelist::new(),
+                        None,
+                        Vec::new(),
+                        0,
+                    );
+                    ids.push(format!("node-{i}"));
+                }
+                let t0 = sim.now();
+                let outcomes = if batched {
+                    verifier.attest_many(&ids, false).await
+                } else {
+                    let mut out = Vec::new();
+                    for id in &ids {
+                        out.push(verifier.attest_once(id, false).await);
+                    }
+                    out
+                };
+                (outcomes, sim.now().since(t0).as_secs_f64())
+            }
+        })
+    }
+
+    /// The acceptance criterion: attest_many over >= 8 nodes (one of them
+    /// tampered) must yield outcomes identical to N sequential
+    /// attest_once calls — same variants, same failure strings.
+    #[test]
+    fn attest_many_matches_sequential_outcomes() {
+        let (sequential, t_seq) = run_fleet(8, &[3], false);
+        let (batched, t_batch) = run_fleet(8, &[3], true);
+        assert_eq!(sequential.len(), 8);
+        assert_eq!(batched, sequential);
+        for (i, outcome) in batched.iter().enumerate() {
+            if i == 3 {
+                assert!(
+                    matches!(outcome, AttestOutcome::Failed(r) if r.contains("unapproved")),
+                    "node-3 boots tampered firmware: {outcome:?}"
+                );
+            } else {
+                assert_eq!(outcome, &AttestOutcome::Trusted, "node-{i}");
+            }
+        }
+        // Concurrency must compress simulated time: the batch overlaps
+        // every node's quote + RTT + verification budget.
+        assert!(
+            t_batch < t_seq / 2.0,
+            "batched {t_batch}s not faster than sequential {t_seq}s"
+        );
+    }
+
+    #[test]
+    fn attest_many_flags_unknown_nodes() {
+        let (outcomes, _) = {
+            let sim = Sim::new();
+            let registrar = Registrar::new();
+            let verifier = Verifier::new(&sim, &registrar, VerifierConfig::default());
+            let ids = vec!["ghost-1".to_string(), "ghost-2".to_string()];
+            (
+                sim.block_on(async move { verifier.attest_many(&ids, false).await }),
+                (),
+            )
+        };
+        assert_eq!(
+            outcomes,
+            vec![
+                AttestOutcome::Failed("unknown node".into()),
+                AttestOutcome::Failed("unknown node".into())
+            ]
+        );
+    }
+
+    /// Satellite: hammer one node with concurrent attest_once rounds. The
+    /// accounting (quotes_verified, status, exactly-once payload flag)
+    /// must survive arbitrary interleaving at await points.
+    #[test]
+    fn concurrent_rounds_on_one_node_account_correctly() {
+        const ROUNDS: usize = 10;
+        let sim = Sim::new();
+        let fw = FirmwareSource::from_tree(FirmwareKind::LinuxBoot, "heads-1.0", b"src").build();
+        let machine = Machine::new("node-0", fw.clone(), 7, 512, 64);
+        machine.power_on();
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&sim, &registrar, VerifierConfig::default());
+        let mut wl = HashSet::new();
+        wl.insert(fw.build_id);
+        wl.insert(agent_binary_digest());
+        let outcomes = sim.block_on({
+            let sim = sim.clone();
+            let registrar = registrar.clone();
+            let verifier = verifier.clone();
+            let machine = machine.clone();
+            async move {
+                machine.run_firmware(&sim).await.expect("boots");
+                machine
+                    .measure_download("keylime-agent", agent_binary_digest())
+                    .expect("measures");
+                let agent = Agent::start(&sim, "node-0", &machine).await;
+                let mut rng = XorShiftSource::new(11);
+                agent
+                    .register(&sim, &registrar, &mut rng)
+                    .await
+                    .expect("registers");
+                verifier.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                let handles: Vec<_> = (0..ROUNDS)
+                    .map(|_| {
+                        let v = verifier.clone();
+                        sim.spawn(async move { v.attest_once("node-0", false).await })
+                    })
+                    .collect();
+                join_all(handles).await
+            }
+        });
+        assert_eq!(outcomes.len(), ROUNDS);
+        assert!(outcomes.iter().all(|o| o == &AttestOutcome::Trusted));
+        assert_eq!(verifier.quotes_verified("node-0"), ROUNDS as u64);
+        assert_eq!(verifier.status("node-0"), Some(NodeStatus::Trusted));
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-76d46719456b1591.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-76d46719456b1591: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c77e88c6e7d253e4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c77e88c6e7d253e4: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

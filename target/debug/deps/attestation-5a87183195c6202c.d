@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attestation-5a87183195c6202c.d: tests/attestation.rs
+
+/root/repo/target/debug/deps/attestation-5a87183195c6202c: tests/attestation.rs
+
+tests/attestation.rs:

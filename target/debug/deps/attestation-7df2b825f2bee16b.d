@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attestation-7df2b825f2bee16b.d: tests/attestation.rs
+
+/root/repo/target/debug/deps/attestation-7df2b825f2bee16b: tests/attestation.rs
+
+tests/attestation.rs:

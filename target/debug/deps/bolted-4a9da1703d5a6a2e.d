@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bolted-4a9da1703d5a6a2e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbolted-4a9da1703d5a6a2e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbolted-4a9da1703d5a6a2e.rmeta: src/lib.rs
+
+src/lib.rs:

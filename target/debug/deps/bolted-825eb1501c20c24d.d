@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bolted-825eb1501c20c24d.d: src/lib.rs
+
+/root/repo/target/debug/deps/bolted-825eb1501c20c24d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bolted-c69eccf7615a5092.d: src/lib.rs
+
+/root/repo/target/debug/deps/bolted-c69eccf7615a5092: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bolted-ef1874c67d6c5663.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbolted-ef1874c67d6c5663.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbolted-ef1874c67d6c5663.rmeta: src/lib.rs
+
+src/lib.rs:

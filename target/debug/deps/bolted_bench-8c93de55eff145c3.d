@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bolted_bench-8c93de55eff145c3.d: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+/root/repo/target/debug/deps/libbolted_bench-8c93de55eff145c3.rlib: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+/root/repo/target/debug/deps/libbolted_bench-8c93de55eff145c3.rmeta: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/hotpath.rs:

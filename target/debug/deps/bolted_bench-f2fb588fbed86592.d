@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bolted_bench-f2fb588fbed86592.d: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+/root/repo/target/debug/deps/bolted_bench-f2fb588fbed86592: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/hotpath.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bolted_bmi-1ebfc14301a7cfd9.d: crates/bmi/src/lib.rs
+
+/root/repo/target/debug/deps/libbolted_bmi-1ebfc14301a7cfd9.rlib: crates/bmi/src/lib.rs
+
+/root/repo/target/debug/deps/libbolted_bmi-1ebfc14301a7cfd9.rmeta: crates/bmi/src/lib.rs
+
+crates/bmi/src/lib.rs:

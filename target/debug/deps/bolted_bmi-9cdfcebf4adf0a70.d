@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bolted_bmi-9cdfcebf4adf0a70.d: crates/bmi/src/lib.rs
+
+/root/repo/target/debug/deps/bolted_bmi-9cdfcebf4adf0a70: crates/bmi/src/lib.rs
+
+crates/bmi/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bolted_core-34eb58459e4264f3.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/debug/deps/libbolted_core-34eb58459e4264f3.rlib: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/debug/deps/libbolted_core-34eb58459e4264f3.rmeta: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/cloud.rs:
+crates/core/src/enclave.rs:
+crates/core/src/foreman.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/profile.rs:
+crates/core/src/provision.rs:

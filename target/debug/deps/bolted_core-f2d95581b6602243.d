@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bolted_core-f2d95581b6602243.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/debug/deps/bolted_core-f2d95581b6602243: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/cloud.rs:
+crates/core/src/enclave.rs:
+crates/core/src/foreman.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/profile.rs:
+crates/core/src/provision.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bolted_crypto-98419b4699fa1afc.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/bignum.rs crates/crypto/src/chacha20.rs crates/crypto/src/cost.rs crates/crypto/src/ct.rs crates/crypto/src/hmac.rs crates/crypto/src/luks.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/bolted_crypto-98419b4699fa1afc: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/bignum.rs crates/crypto/src/chacha20.rs crates/crypto/src/cost.rs crates/crypto/src/ct.rs crates/crypto/src/hmac.rs crates/crypto/src/luks.rs crates/crypto/src/montgomery.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/bignum.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/cost.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/luks.rs:
+crates/crypto/src/montgomery.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha256.rs:

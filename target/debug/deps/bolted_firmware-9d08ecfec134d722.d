@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bolted_firmware-9d08ecfec134d722.d: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+/root/repo/target/debug/deps/libbolted_firmware-9d08ecfec134d722.rlib: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+/root/repo/target/debug/deps/libbolted_firmware-9d08ecfec134d722.rmeta: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/bootchain.rs:
+crates/firmware/src/image.rs:
+crates/firmware/src/machine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bolted_firmware-d43150090031f3e4.d: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+/root/repo/target/debug/deps/bolted_firmware-d43150090031f3e4: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/bootchain.rs:
+crates/firmware/src/image.rs:
+crates/firmware/src/machine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bolted_hil-9e4b8b6b482b3cb7.d: crates/hil/src/lib.rs
+
+/root/repo/target/debug/deps/libbolted_hil-9e4b8b6b482b3cb7.rlib: crates/hil/src/lib.rs
+
+/root/repo/target/debug/deps/libbolted_hil-9e4b8b6b482b3cb7.rmeta: crates/hil/src/lib.rs
+
+crates/hil/src/lib.rs:

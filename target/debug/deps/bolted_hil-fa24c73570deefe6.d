@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bolted_hil-fa24c73570deefe6.d: crates/hil/src/lib.rs
+
+/root/repo/target/debug/deps/bolted_hil-fa24c73570deefe6: crates/hil/src/lib.rs
+
+crates/hil/src/lib.rs:

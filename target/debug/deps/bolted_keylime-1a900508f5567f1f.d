@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bolted_keylime-1a900508f5567f1f.d: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/debug/deps/bolted_keylime-1a900508f5567f1f: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+crates/keylime/src/lib.rs:
+crates/keylime/src/agent.rs:
+crates/keylime/src/ima.rs:
+crates/keylime/src/payload.rs:
+crates/keylime/src/registrar.rs:
+crates/keylime/src/verifier.rs:

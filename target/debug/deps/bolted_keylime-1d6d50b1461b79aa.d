@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bolted_keylime-1d6d50b1461b79aa.d: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/debug/deps/libbolted_keylime-1d6d50b1461b79aa.rlib: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/debug/deps/libbolted_keylime-1d6d50b1461b79aa.rmeta: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+crates/keylime/src/lib.rs:
+crates/keylime/src/agent.rs:
+crates/keylime/src/ima.rs:
+crates/keylime/src/payload.rs:
+crates/keylime/src/registrar.rs:
+crates/keylime/src/verifier.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bolted_keylime-adfcc652764f1c85.d: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/debug/deps/libbolted_keylime-adfcc652764f1c85.rlib: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/debug/deps/libbolted_keylime-adfcc652764f1c85.rmeta: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+crates/keylime/src/lib.rs:
+crates/keylime/src/agent.rs:
+crates/keylime/src/ima.rs:
+crates/keylime/src/payload.rs:
+crates/keylime/src/registrar.rs:
+crates/keylime/src/verifier.rs:

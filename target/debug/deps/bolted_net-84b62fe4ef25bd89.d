@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bolted_net-84b62fe4ef25bd89.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+/root/repo/target/debug/deps/libbolted_net-84b62fe4ef25bd89.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+/root/repo/target/debug/deps/libbolted_net-84b62fe4ef25bd89.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/iperf.rs:
+crates/net/src/ipsec.rs:
+crates/net/src/link.rs:

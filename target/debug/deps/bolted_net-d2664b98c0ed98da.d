@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bolted_net-d2664b98c0ed98da.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+/root/repo/target/debug/deps/bolted_net-d2664b98c0ed98da: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/iperf.rs:
+crates/net/src/ipsec.rs:
+crates/net/src/link.rs:

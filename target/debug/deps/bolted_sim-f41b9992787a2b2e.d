@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bolted_sim-f41b9992787a2b2e.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libbolted_sim-f41b9992787a2b2e.rlib: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libbolted_sim-f41b9992787a2b2e.rmeta: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bolted_storage-0b476dfce720dd8f.d: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+/root/repo/target/debug/deps/bolted_storage-0b476dfce720dd8f: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cluster.rs:
+crates/storage/src/image.rs:
+crates/storage/src/iscsi.rs:

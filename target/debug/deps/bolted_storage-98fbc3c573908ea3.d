@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bolted_storage-98fbc3c573908ea3.d: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+/root/repo/target/debug/deps/libbolted_storage-98fbc3c573908ea3.rlib: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+/root/repo/target/debug/deps/libbolted_storage-98fbc3c573908ea3.rmeta: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cluster.rs:
+crates/storage/src/image.rs:
+crates/storage/src/iscsi.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bolted_tpm-38ac725ae78e6c60.d: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+/root/repo/target/debug/deps/libbolted_tpm-38ac725ae78e6c60.rlib: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+/root/repo/target/debug/deps/libbolted_tpm-38ac725ae78e6c60.rmeta: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+crates/tpm/src/lib.rs:
+crates/tpm/src/device.rs:
+crates/tpm/src/eventlog.rs:
+crates/tpm/src/pcr.rs:
+crates/tpm/src/seal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bolted_tpm-58f4a22977339346.d: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+/root/repo/target/debug/deps/bolted_tpm-58f4a22977339346: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+crates/tpm/src/lib.rs:
+crates/tpm/src/device.rs:
+crates/tpm/src/eventlog.rs:
+crates/tpm/src/pcr.rs:
+crates/tpm/src/seal.rs:

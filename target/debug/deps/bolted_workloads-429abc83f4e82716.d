@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bolted_workloads-429abc83f4e82716.d: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+/root/repo/target/debug/deps/libbolted_workloads-429abc83f4e82716.rlib: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+/root/repo/target/debug/deps/libbolted_workloads-429abc83f4e82716.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cluster_net.rs:
+crates/workloads/src/dd.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/kcompile.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/terasort.rs:

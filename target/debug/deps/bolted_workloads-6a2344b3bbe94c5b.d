@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bolted_workloads-6a2344b3bbe94c5b.d: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+/root/repo/target/debug/deps/bolted_workloads-6a2344b3bbe94c5b: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cluster_net.rs:
+crates/workloads/src/dd.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/kcompile.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/terasort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clone_chains-f5e0ad3a499606ed.d: crates/storage/tests/clone_chains.rs
+
+/root/repo/target/debug/deps/clone_chains-f5e0ad3a499606ed: crates/storage/tests/clone_chains.rs
+
+crates/storage/tests/clone_chains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-94e100b4ff7a7926.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-94e100b4ff7a7926: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_stress-d1fb9adef2642bdc.d: crates/sim/tests/executor_stress.rs
+
+/root/repo/target/debug/deps/executor_stress-d1fb9adef2642bdc: crates/sim/tests/executor_stress.rs
+
+crates/sim/tests/executor_stress.rs:

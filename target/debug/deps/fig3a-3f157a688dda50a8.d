@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3a-3f157a688dda50a8.d: crates/bench/src/bin/fig3a.rs
+
+/root/repo/target/debug/deps/fig3a-3f157a688dda50a8: crates/bench/src/bin/fig3a.rs
+
+crates/bench/src/bin/fig3a.rs:

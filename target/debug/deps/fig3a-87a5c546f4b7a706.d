@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3a-87a5c546f4b7a706.d: crates/bench/src/bin/fig3a.rs
+
+/root/repo/target/debug/deps/fig3a-87a5c546f4b7a706: crates/bench/src/bin/fig3a.rs
+
+crates/bench/src/bin/fig3a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3b-1085033d8708689c.d: crates/bench/src/bin/fig3b.rs
+
+/root/repo/target/debug/deps/fig3b-1085033d8708689c: crates/bench/src/bin/fig3b.rs
+
+crates/bench/src/bin/fig3b.rs:

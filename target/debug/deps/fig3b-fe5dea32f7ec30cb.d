@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3b-fe5dea32f7ec30cb.d: crates/bench/src/bin/fig3b.rs
+
+/root/repo/target/debug/deps/fig3b-fe5dea32f7ec30cb: crates/bench/src/bin/fig3b.rs
+
+crates/bench/src/bin/fig3b.rs:

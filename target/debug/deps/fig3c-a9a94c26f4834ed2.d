@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3c-a9a94c26f4834ed2.d: crates/bench/src/bin/fig3c.rs
+
+/root/repo/target/debug/deps/fig3c-a9a94c26f4834ed2: crates/bench/src/bin/fig3c.rs
+
+crates/bench/src/bin/fig3c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3c-d2d2775dafe1cd0b.d: crates/bench/src/bin/fig3c.rs
+
+/root/repo/target/debug/deps/fig3c-d2d2775dafe1cd0b: crates/bench/src/bin/fig3c.rs
+
+crates/bench/src/bin/fig3c.rs:

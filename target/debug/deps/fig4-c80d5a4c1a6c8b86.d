@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-c80d5a4c1a6c8b86.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-c80d5a4c1a6c8b86: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

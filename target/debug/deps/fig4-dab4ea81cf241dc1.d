@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-dab4ea81cf241dc1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-dab4ea81cf241dc1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-9f210d858be69555.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-9f210d858be69555: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

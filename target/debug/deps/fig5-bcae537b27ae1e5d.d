@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-bcae537b27ae1e5d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-bcae537b27ae1e5d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-6a2d70ee3ee461dc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6a2d70ee3ee461dc: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

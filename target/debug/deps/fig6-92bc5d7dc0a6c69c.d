@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-92bc5d7dc0a6c69c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-92bc5d7dc0a6c69c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

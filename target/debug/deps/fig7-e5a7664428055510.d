@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e5a7664428055510.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e5a7664428055510: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

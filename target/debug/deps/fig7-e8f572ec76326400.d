@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e8f572ec76326400.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e8f572ec76326400: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-15b326af4e14b657.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-15b326af4e14b657: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotpath-4a2c9e30e6ae8a37.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/debug/deps/hotpath-4a2c9e30e6ae8a37: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

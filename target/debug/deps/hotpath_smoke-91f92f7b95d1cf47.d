@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hotpath_smoke-91f92f7b95d1cf47.d: crates/bench/tests/hotpath_smoke.rs
+
+/root/repo/target/debug/deps/hotpath_smoke-91f92f7b95d1cf47: crates/bench/tests/hotpath_smoke.rs
+
+crates/bench/tests/hotpath_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_hotpath=/root/repo/target/debug/hotpath

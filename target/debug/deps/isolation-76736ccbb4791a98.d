@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isolation-76736ccbb4791a98.d: tests/isolation.rs
+
+/root/repo/target/debug/deps/isolation-76736ccbb4791a98: tests/isolation.rs
+
+tests/isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/isolation-db34bd5293574c4d.d: tests/isolation.rs
+
+/root/repo/target/debug/deps/isolation-db34bd5293574c4d: tests/isolation.rs
+
+tests/isolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limits-23194ac4c046315b.d: crates/hil/tests/limits.rs
+
+/root/repo/target/debug/deps/limits-23194ac4c046315b: crates/hil/tests/limits.rs
+
+crates/hil/tests/limits.rs:

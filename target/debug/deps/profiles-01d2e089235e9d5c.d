@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profiles-01d2e089235e9d5c.d: tests/profiles.rs
+
+/root/repo/target/debug/deps/profiles-01d2e089235e9d5c: tests/profiles.rs
+
+tests/profiles.rs:

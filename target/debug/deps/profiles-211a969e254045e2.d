@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profiles-211a969e254045e2.d: tests/profiles.rs
+
+/root/repo/target/debug/deps/profiles-211a969e254045e2: tests/profiles.rs
+
+tests/profiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-02003696096786b4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-02003696096786b4: tests/properties.rs
+
+tests/properties.rs:

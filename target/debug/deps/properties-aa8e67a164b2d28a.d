@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-aa8e67a164b2d28a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-aa8e67a164b2d28a: tests/properties.rs
+
+tests/properties.rs:

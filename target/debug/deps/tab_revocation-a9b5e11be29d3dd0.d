@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_revocation-a9b5e11be29d3dd0.d: crates/bench/src/bin/tab_revocation.rs
+
+/root/repo/target/debug/deps/tab_revocation-a9b5e11be29d3dd0: crates/bench/src/bin/tab_revocation.rs
+
+crates/bench/src/bin/tab_revocation.rs:

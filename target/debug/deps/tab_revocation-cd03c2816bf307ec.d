@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_revocation-cd03c2816bf307ec.d: crates/bench/src/bin/tab_revocation.rs
+
+/root/repo/target/debug/deps/tab_revocation-cd03c2816bf307ec: crates/bench/src/bin/tab_revocation.rs
+
+crates/bench/src/bin/tab_revocation.rs:

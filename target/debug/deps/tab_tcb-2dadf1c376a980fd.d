@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_tcb-2dadf1c376a980fd.d: crates/bench/src/bin/tab_tcb.rs
+
+/root/repo/target/debug/deps/tab_tcb-2dadf1c376a980fd: crates/bench/src/bin/tab_tcb.rs
+
+crates/bench/src/bin/tab_tcb.rs:

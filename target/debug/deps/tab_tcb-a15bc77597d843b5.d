@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_tcb-a15bc77597d843b5.d: crates/bench/src/bin/tab_tcb.rs
+
+/root/repo/target/debug/deps/tab_tcb-a15bc77597d843b5: crates/bench/src/bin/tab_tcb.rs
+
+crates/bench/src/bin/tab_tcb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threat_model-bc2a56c73c170ad2.d: tests/threat_model.rs
+
+/root/repo/target/debug/deps/threat_model-bc2a56c73c170ad2: tests/threat_model.rs
+
+tests/threat_model.rs:

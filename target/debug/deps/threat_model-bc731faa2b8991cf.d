@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threat_model-bc731faa2b8991cf.d: tests/threat_model.rs
+
+/root/repo/target/debug/deps/threat_model-bc731faa2b8991cf: tests/threat_model.rs
+
+tests/threat_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology-ecaf2b28fcf14c86.d: crates/net/tests/topology.rs
+
+/root/repo/target/debug/deps/topology-ecaf2b28fcf14c86: crates/net/tests/topology.rs
+
+crates/net/tests/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_shapes-2b09e1639b8875f4.d: tests/workload_shapes.rs
+
+/root/repo/target/debug/deps/workload_shapes-2b09e1639b8875f4: tests/workload_shapes.rs
+
+tests/workload_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_shapes-ec4d8d5a61c930bf.d: tests/workload_shapes.rs
+
+/root/repo/target/debug/deps/workload_shapes-ec4d8d5a61c930bf: tests/workload_shapes.rs
+
+tests/workload_shapes.rs:

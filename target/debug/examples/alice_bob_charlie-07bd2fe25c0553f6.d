@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alice_bob_charlie-07bd2fe25c0553f6.d: examples/alice_bob_charlie.rs
+
+/root/repo/target/debug/examples/alice_bob_charlie-07bd2fe25c0553f6: examples/alice_bob_charlie.rs
+
+examples/alice_bob_charlie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alice_bob_charlie-efbeb3256349a249.d: examples/alice_bob_charlie.rs
+
+/root/repo/target/debug/examples/alice_bob_charlie-efbeb3256349a249: examples/alice_bob_charlie.rs
+
+examples/alice_bob_charlie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colo_loan-16d7509f6ad9a1c8.d: examples/colo_loan.rs
+
+/root/repo/target/debug/examples/colo_loan-16d7509f6ad9a1c8: examples/colo_loan.rs
+
+examples/colo_loan.rs:

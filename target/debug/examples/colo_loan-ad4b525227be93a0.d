@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colo_loan-ad4b525227be93a0.d: examples/colo_loan.rs
+
+/root/repo/target/debug/examples/colo_loan-ad4b525227be93a0: examples/colo_loan.rs
+
+examples/colo_loan.rs:

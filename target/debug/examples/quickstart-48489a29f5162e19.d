@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-48489a29f5162e19.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-48489a29f5162e19: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55eb946f7c897bec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-55eb946f7c897bec: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_enclave-596738581a043cdb.d: examples/secure_enclave.rs
+
+/root/repo/target/debug/examples/secure_enclave-596738581a043cdb: examples/secure_enclave.rs
+
+examples/secure_enclave.rs:

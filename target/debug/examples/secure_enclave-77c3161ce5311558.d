@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_enclave-77c3161ce5311558.d: examples/secure_enclave.rs
+
+/root/repo/target/debug/examples/secure_enclave-77c3161ce5311558: examples/secure_enclave.rs
+
+examples/secure_enclave.rs:

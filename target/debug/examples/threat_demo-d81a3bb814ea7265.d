@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threat_demo-d81a3bb814ea7265.d: examples/threat_demo.rs
+
+/root/repo/target/debug/examples/threat_demo-d81a3bb814ea7265: examples/threat_demo.rs
+
+examples/threat_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threat_demo-e7cadc104b47bab1.d: examples/threat_demo.rs
+
+/root/repo/target/debug/examples/threat_demo-e7cadc104b47bab1: examples/threat_demo.rs
+
+examples/threat_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-43c656f2bf7c24d3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-43c656f2bf7c24d3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-bae8b1bd8250fea8.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-bae8b1bd8250fea8: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

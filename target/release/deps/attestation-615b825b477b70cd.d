@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attestation-615b825b477b70cd.d: tests/attestation.rs
+
+/root/repo/target/release/deps/attestation-615b825b477b70cd: tests/attestation.rs
+
+tests/attestation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bolted-731402ffb88abca6.d: src/lib.rs
+
+/root/repo/target/release/deps/libbolted-731402ffb88abca6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbolted-731402ffb88abca6.rmeta: src/lib.rs
+
+src/lib.rs:

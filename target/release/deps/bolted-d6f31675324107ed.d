@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bolted-d6f31675324107ed.d: src/lib.rs
+
+/root/repo/target/release/deps/bolted-d6f31675324107ed: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bolted-f1a6911f86c40b25.d: src/lib.rs
+
+/root/repo/target/release/deps/libbolted-f1a6911f86c40b25.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbolted-f1a6911f86c40b25.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/bolted_bench-3bb649e036f1d4c4.d: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+/root/repo/target/release/deps/bolted_bench-3bb649e036f1d4c4: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/hotpath.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bolted_bench-5d0976654ca9208b.d: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+/root/repo/target/release/deps/libbolted_bench-5d0976654ca9208b.rlib: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+/root/repo/target/release/deps/libbolted_bench-5d0976654ca9208b.rmeta: crates/bench/src/lib.rs crates/bench/src/hotpath.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/hotpath.rs:

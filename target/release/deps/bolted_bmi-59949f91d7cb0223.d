@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bolted_bmi-59949f91d7cb0223.d: crates/bmi/src/lib.rs
+
+/root/repo/target/release/deps/libbolted_bmi-59949f91d7cb0223.rlib: crates/bmi/src/lib.rs
+
+/root/repo/target/release/deps/libbolted_bmi-59949f91d7cb0223.rmeta: crates/bmi/src/lib.rs
+
+crates/bmi/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bolted_bmi-a15db27f76914840.d: crates/bmi/src/lib.rs
+
+/root/repo/target/release/deps/bolted_bmi-a15db27f76914840: crates/bmi/src/lib.rs
+
+crates/bmi/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bolted_core-143b917e2088a0f5.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/release/deps/bolted_core-143b917e2088a0f5: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/cloud.rs:
+crates/core/src/enclave.rs:
+crates/core/src/foreman.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/profile.rs:
+crates/core/src/provision.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bolted_core-7c79379997d64f02.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/release/deps/libbolted_core-7c79379997d64f02.rlib: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/release/deps/libbolted_core-7c79379997d64f02.rmeta: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/cloud.rs:
+crates/core/src/enclave.rs:
+crates/core/src/foreman.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/profile.rs:
+crates/core/src/provision.rs:

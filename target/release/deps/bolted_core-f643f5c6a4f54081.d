@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bolted_core-f643f5c6a4f54081.d: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/release/deps/libbolted_core-f643f5c6a4f54081.rlib: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+/root/repo/target/release/deps/libbolted_core-f643f5c6a4f54081.rmeta: crates/core/src/lib.rs crates/core/src/calib.rs crates/core/src/cloud.rs crates/core/src/enclave.rs crates/core/src/foreman.rs crates/core/src/lifecycle.rs crates/core/src/profile.rs crates/core/src/provision.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calib.rs:
+crates/core/src/cloud.rs:
+crates/core/src/enclave.rs:
+crates/core/src/foreman.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/profile.rs:
+crates/core/src/provision.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bolted_firmware-377431d19b742d1b.d: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+/root/repo/target/release/deps/libbolted_firmware-377431d19b742d1b.rlib: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+/root/repo/target/release/deps/libbolted_firmware-377431d19b742d1b.rmeta: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/bootchain.rs:
+crates/firmware/src/image.rs:
+crates/firmware/src/machine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bolted_firmware-db8577d7ff992e00.d: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+/root/repo/target/release/deps/bolted_firmware-db8577d7ff992e00: crates/firmware/src/lib.rs crates/firmware/src/bootchain.rs crates/firmware/src/image.rs crates/firmware/src/machine.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/bootchain.rs:
+crates/firmware/src/image.rs:
+crates/firmware/src/machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bolted_hil-9f3a7c462c2c5410.d: crates/hil/src/lib.rs
+
+/root/repo/target/release/deps/bolted_hil-9f3a7c462c2c5410: crates/hil/src/lib.rs
+
+crates/hil/src/lib.rs:

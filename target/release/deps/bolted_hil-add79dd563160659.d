@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bolted_hil-add79dd563160659.d: crates/hil/src/lib.rs
+
+/root/repo/target/release/deps/libbolted_hil-add79dd563160659.rlib: crates/hil/src/lib.rs
+
+/root/repo/target/release/deps/libbolted_hil-add79dd563160659.rmeta: crates/hil/src/lib.rs
+
+crates/hil/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bolted_keylime-49149272880ed77e.d: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/release/deps/bolted_keylime-49149272880ed77e: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+crates/keylime/src/lib.rs:
+crates/keylime/src/agent.rs:
+crates/keylime/src/ima.rs:
+crates/keylime/src/payload.rs:
+crates/keylime/src/registrar.rs:
+crates/keylime/src/verifier.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bolted_keylime-b29c2007aceaa104.d: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/release/deps/libbolted_keylime-b29c2007aceaa104.rlib: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+/root/repo/target/release/deps/libbolted_keylime-b29c2007aceaa104.rmeta: crates/keylime/src/lib.rs crates/keylime/src/agent.rs crates/keylime/src/ima.rs crates/keylime/src/payload.rs crates/keylime/src/registrar.rs crates/keylime/src/verifier.rs
+
+crates/keylime/src/lib.rs:
+crates/keylime/src/agent.rs:
+crates/keylime/src/ima.rs:
+crates/keylime/src/payload.rs:
+crates/keylime/src/registrar.rs:
+crates/keylime/src/verifier.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bolted_net-127607a4bc3af332.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+/root/repo/target/release/deps/libbolted_net-127607a4bc3af332.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+/root/repo/target/release/deps/libbolted_net-127607a4bc3af332.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/iperf.rs:
+crates/net/src/ipsec.rs:
+crates/net/src/link.rs:

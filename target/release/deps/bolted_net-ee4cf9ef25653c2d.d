@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bolted_net-ee4cf9ef25653c2d.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+/root/repo/target/release/deps/bolted_net-ee4cf9ef25653c2d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/iperf.rs crates/net/src/ipsec.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/iperf.rs:
+crates/net/src/ipsec.rs:
+crates/net/src/link.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bolted_sim-3c4771ffd2d51beb.d: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/bolted_sim-3c4771ffd2d51beb: crates/sim/src/lib.rs crates/sim/src/executor.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/sync.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/executor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sync.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bolted_storage-2d56f43b65feb33d.d: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+/root/repo/target/release/deps/bolted_storage-2d56f43b65feb33d: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cluster.rs:
+crates/storage/src/image.rs:
+crates/storage/src/iscsi.rs:

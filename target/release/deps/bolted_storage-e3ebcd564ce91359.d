@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bolted_storage-e3ebcd564ce91359.d: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+/root/repo/target/release/deps/libbolted_storage-e3ebcd564ce91359.rlib: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+/root/repo/target/release/deps/libbolted_storage-e3ebcd564ce91359.rmeta: crates/storage/src/lib.rs crates/storage/src/cluster.rs crates/storage/src/image.rs crates/storage/src/iscsi.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/cluster.rs:
+crates/storage/src/image.rs:
+crates/storage/src/iscsi.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bolted_tpm-01a0a450302a1ee5.d: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+/root/repo/target/release/deps/libbolted_tpm-01a0a450302a1ee5.rlib: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+/root/repo/target/release/deps/libbolted_tpm-01a0a450302a1ee5.rmeta: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+crates/tpm/src/lib.rs:
+crates/tpm/src/device.rs:
+crates/tpm/src/eventlog.rs:
+crates/tpm/src/pcr.rs:
+crates/tpm/src/seal.rs:

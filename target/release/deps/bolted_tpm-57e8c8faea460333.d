@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bolted_tpm-57e8c8faea460333.d: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+/root/repo/target/release/deps/bolted_tpm-57e8c8faea460333: crates/tpm/src/lib.rs crates/tpm/src/device.rs crates/tpm/src/eventlog.rs crates/tpm/src/pcr.rs crates/tpm/src/seal.rs
+
+crates/tpm/src/lib.rs:
+crates/tpm/src/device.rs:
+crates/tpm/src/eventlog.rs:
+crates/tpm/src/pcr.rs:
+crates/tpm/src/seal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bolted_workloads-274290dc5205d8b6.d: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+/root/repo/target/release/deps/libbolted_workloads-274290dc5205d8b6.rlib: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+/root/repo/target/release/deps/libbolted_workloads-274290dc5205d8b6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cluster_net.rs:
+crates/workloads/src/dd.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/kcompile.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/terasort.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bolted_workloads-8dd52e07c95c642e.d: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+/root/repo/target/release/deps/bolted_workloads-8dd52e07c95c642e: crates/workloads/src/lib.rs crates/workloads/src/cluster_net.rs crates/workloads/src/dd.rs crates/workloads/src/filebench.rs crates/workloads/src/kcompile.rs crates/workloads/src/npb.rs crates/workloads/src/terasort.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cluster_net.rs:
+crates/workloads/src/dd.rs:
+crates/workloads/src/filebench.rs:
+crates/workloads/src/kcompile.rs:
+crates/workloads/src/npb.rs:
+crates/workloads/src/terasort.rs:

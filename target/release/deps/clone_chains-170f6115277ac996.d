@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/clone_chains-170f6115277ac996.d: crates/storage/tests/clone_chains.rs
+
+/root/repo/target/release/deps/clone_chains-170f6115277ac996: crates/storage/tests/clone_chains.rs
+
+crates/storage/tests/clone_chains.rs:

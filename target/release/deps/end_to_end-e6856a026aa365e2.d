@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-e6856a026aa365e2.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-e6856a026aa365e2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

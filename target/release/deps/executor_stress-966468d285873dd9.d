@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/executor_stress-966468d285873dd9.d: crates/sim/tests/executor_stress.rs
+
+/root/repo/target/release/deps/executor_stress-966468d285873dd9: crates/sim/tests/executor_stress.rs
+
+crates/sim/tests/executor_stress.rs:

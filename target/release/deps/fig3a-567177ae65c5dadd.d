@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3a-567177ae65c5dadd.d: crates/bench/src/bin/fig3a.rs
+
+/root/repo/target/release/deps/fig3a-567177ae65c5dadd: crates/bench/src/bin/fig3a.rs
+
+crates/bench/src/bin/fig3a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3a-67ca37bb2403d310.d: crates/bench/src/bin/fig3a.rs
+
+/root/repo/target/release/deps/fig3a-67ca37bb2403d310: crates/bench/src/bin/fig3a.rs
+
+crates/bench/src/bin/fig3a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3b-4a66ca79d4cb3cd0.d: crates/bench/src/bin/fig3b.rs
+
+/root/repo/target/release/deps/fig3b-4a66ca79d4cb3cd0: crates/bench/src/bin/fig3b.rs
+
+crates/bench/src/bin/fig3b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3b-5e49541bae4dd38c.d: crates/bench/src/bin/fig3b.rs
+
+/root/repo/target/release/deps/fig3b-5e49541bae4dd38c: crates/bench/src/bin/fig3b.rs
+
+crates/bench/src/bin/fig3b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3c-108d937945ac35de.d: crates/bench/src/bin/fig3c.rs
+
+/root/repo/target/release/deps/fig3c-108d937945ac35de: crates/bench/src/bin/fig3c.rs
+
+crates/bench/src/bin/fig3c.rs:

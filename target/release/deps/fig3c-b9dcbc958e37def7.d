@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3c-b9dcbc958e37def7.d: crates/bench/src/bin/fig3c.rs
+
+/root/repo/target/release/deps/fig3c-b9dcbc958e37def7: crates/bench/src/bin/fig3c.rs
+
+crates/bench/src/bin/fig3c.rs:

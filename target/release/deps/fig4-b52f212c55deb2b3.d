@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b52f212c55deb2b3.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b52f212c55deb2b3: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-eb078ce610036b23.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-eb078ce610036b23: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

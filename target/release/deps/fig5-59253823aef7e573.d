@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-59253823aef7e573.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-59253823aef7e573: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

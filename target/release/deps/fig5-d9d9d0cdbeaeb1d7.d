@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-d9d9d0cdbeaeb1d7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-d9d9d0cdbeaeb1d7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-624d123af0ddfccb.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-624d123af0ddfccb: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-bad34e02b4de1e50.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-bad34e02b4de1e50: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

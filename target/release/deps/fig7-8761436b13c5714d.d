@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-8761436b13c5714d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-8761436b13c5714d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-f48d53b7f120ea73.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-f48d53b7f120ea73: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-6879c19b639be209.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-6879c19b639be209: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotpath-a562f926f9d49867.d: crates/bench/src/bin/hotpath.rs
+
+/root/repo/target/release/deps/hotpath-a562f926f9d49867: crates/bench/src/bin/hotpath.rs
+
+crates/bench/src/bin/hotpath.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hotpath_smoke-3e92cb6dbb977f9a.d: crates/bench/tests/hotpath_smoke.rs
+
+/root/repo/target/release/deps/hotpath_smoke-3e92cb6dbb977f9a: crates/bench/tests/hotpath_smoke.rs
+
+crates/bench/tests/hotpath_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_hotpath=/root/repo/target/release/hotpath

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/isolation-414c223f90078c5c.d: tests/isolation.rs
+
+/root/repo/target/release/deps/isolation-414c223f90078c5c: tests/isolation.rs
+
+tests/isolation.rs:

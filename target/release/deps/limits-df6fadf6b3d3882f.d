@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/limits-df6fadf6b3d3882f.d: crates/hil/tests/limits.rs
+
+/root/repo/target/release/deps/limits-df6fadf6b3d3882f: crates/hil/tests/limits.rs
+
+crates/hil/tests/limits.rs:

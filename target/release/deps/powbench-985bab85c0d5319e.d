@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/powbench-985bab85c0d5319e.d: crates/bench/src/bin/powbench.rs
+
+/root/repo/target/release/deps/powbench-985bab85c0d5319e: crates/bench/src/bin/powbench.rs
+
+crates/bench/src/bin/powbench.rs:

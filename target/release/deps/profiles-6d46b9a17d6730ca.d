@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profiles-6d46b9a17d6730ca.d: tests/profiles.rs
+
+/root/repo/target/release/deps/profiles-6d46b9a17d6730ca: tests/profiles.rs
+
+tests/profiles.rs:

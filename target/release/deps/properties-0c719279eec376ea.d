@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0c719279eec376ea.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-0c719279eec376ea: tests/properties.rs
+
+tests/properties.rs:

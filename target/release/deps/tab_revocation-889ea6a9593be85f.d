@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_revocation-889ea6a9593be85f.d: crates/bench/src/bin/tab_revocation.rs
+
+/root/repo/target/release/deps/tab_revocation-889ea6a9593be85f: crates/bench/src/bin/tab_revocation.rs
+
+crates/bench/src/bin/tab_revocation.rs:

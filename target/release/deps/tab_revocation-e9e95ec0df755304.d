@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_revocation-e9e95ec0df755304.d: crates/bench/src/bin/tab_revocation.rs
+
+/root/repo/target/release/deps/tab_revocation-e9e95ec0df755304: crates/bench/src/bin/tab_revocation.rs
+
+crates/bench/src/bin/tab_revocation.rs:

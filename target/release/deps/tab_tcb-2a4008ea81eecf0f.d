@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_tcb-2a4008ea81eecf0f.d: crates/bench/src/bin/tab_tcb.rs
+
+/root/repo/target/release/deps/tab_tcb-2a4008ea81eecf0f: crates/bench/src/bin/tab_tcb.rs
+
+crates/bench/src/bin/tab_tcb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_tcb-2f17b6677a44b34b.d: crates/bench/src/bin/tab_tcb.rs
+
+/root/repo/target/release/deps/tab_tcb-2f17b6677a44b34b: crates/bench/src/bin/tab_tcb.rs
+
+crates/bench/src/bin/tab_tcb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threat_model-d666052512e50696.d: tests/threat_model.rs
+
+/root/repo/target/release/deps/threat_model-d666052512e50696: tests/threat_model.rs
+
+tests/threat_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topology-6f2f136e852862e8.d: crates/net/tests/topology.rs
+
+/root/repo/target/release/deps/topology-6f2f136e852862e8: crates/net/tests/topology.rs
+
+crates/net/tests/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_shapes-ffd651759ea33bb5.d: tests/workload_shapes.rs
+
+/root/repo/target/release/deps/workload_shapes-ffd651759ea33bb5: tests/workload_shapes.rs
+
+tests/workload_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alice_bob_charlie-33a83b2d65156ef2.d: examples/alice_bob_charlie.rs
+
+/root/repo/target/release/examples/alice_bob_charlie-33a83b2d65156ef2: examples/alice_bob_charlie.rs
+
+examples/alice_bob_charlie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/colo_loan-fdf501c4eea9d53b.d: examples/colo_loan.rs
+
+/root/repo/target/release/examples/colo_loan-fdf501c4eea9d53b: examples/colo_loan.rs
+
+examples/colo_loan.rs:

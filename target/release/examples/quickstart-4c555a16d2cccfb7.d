@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4c555a16d2cccfb7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4c555a16d2cccfb7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/secure_enclave-ecde9e08eea4826a.d: examples/secure_enclave.rs
+
+/root/repo/target/release/examples/secure_enclave-ecde9e08eea4826a: examples/secure_enclave.rs
+
+examples/secure_enclave.rs:

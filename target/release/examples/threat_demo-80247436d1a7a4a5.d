@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threat_demo-80247436d1a7a4a5.d: examples/threat_demo.rs
+
+/root/repo/target/release/examples/threat_demo-80247436d1a7a4a5: examples/threat_demo.rs
+
+examples/threat_demo.rs:

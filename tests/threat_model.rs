@@ -99,7 +99,7 @@ fn rejected_node_returns_to_service_after_remediation() {
                 .await
         }
     });
-    assert!(r2.is_ok(), "remediated node attests clean");
+    assert!(r2.is_ok(), "remediated node attests clean: {:?}", r2.err());
 }
 
 #[test]
