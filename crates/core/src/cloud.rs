@@ -7,8 +7,9 @@ use std::rc::Rc;
 use bolted_bmi::Bmi;
 use bolted_crypto::sha256::{sha256, Digest};
 use bolted_firmware::{FirmwareImage, FirmwareKind, FirmwareSource, Machine};
-use bolted_hil::{BmcOps, Hil, NodeId};
+use bolted_hil::{BmcError, BmcOps, Hil, NodeId};
 use bolted_net::{Fabric, LinkModel, SwitchId};
+use bolted_sim::fault::{ops, FaultDecision, FaultPlan, Faults};
 use bolted_sim::{Resource, Sim, Tracer};
 use bolted_storage::{Cluster, Gateway, ImageStore};
 
@@ -59,6 +60,10 @@ pub struct CloudConfig {
     pub seed: u64,
     /// Timing calibration.
     pub calib: Calibration,
+    /// Fault-injection plan for the hardware-facing layers (BMCs, switch
+    /// management plane, storage reads, Keylime round-trips). The default
+    /// empty plan injects nothing and costs nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for CloudConfig {
@@ -71,22 +76,50 @@ impl Default for CloudConfig {
             airlocks: 1,
             seed: 42,
             calib: Calibration::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
 
-/// Adapter exposing a [`Machine`] as HIL's BMC.
-struct MachineBmc(Machine);
+/// Adapter exposing a [`Machine`] as HIL's BMC. IPMI commands cross the
+/// management network, so the fault plan can make them fail; `bolted-hil`
+/// itself stays sim-free (it is the provider's minimal TCB), which is why
+/// the fault gate lives in this adapter rather than in the HIL crate.
+struct MachineBmc {
+    machine: Machine,
+    name: String,
+    faults: Faults,
+}
+
+impl MachineBmc {
+    /// Consults the fault plan before touching the machine. IPMI is a
+    /// synchronous request/response, so latency spikes cannot stretch
+    /// virtual time here; `Delay` degrades to `Allow`.
+    fn gate(&self) -> Result<(), BmcError> {
+        if self.faults.enabled()
+            && self.faults.decide(ops::BMC_POWER, &self.name) == FaultDecision::Fail
+        {
+            return Err(BmcError::Unreachable);
+        }
+        Ok(())
+    }
+}
 
 impl BmcOps for MachineBmc {
-    fn power_on(&self) {
-        self.0.power_on();
+    fn power_on(&self) -> Result<(), BmcError> {
+        self.gate()?;
+        self.machine.power_on();
+        Ok(())
     }
-    fn power_off(&self) {
-        self.0.power_off();
+    fn power_off(&self) -> Result<(), BmcError> {
+        self.gate()?;
+        self.machine.power_off();
+        Ok(())
     }
-    fn power_cycle(&self) {
-        self.0.power_cycle();
+    fn power_cycle(&self) -> Result<(), BmcError> {
+        self.gate()?;
+        self.machine.power_cycle();
+        Ok(())
     }
 }
 
@@ -118,6 +151,8 @@ pub struct Cloud {
     pub http: Resource,
     /// Event trace.
     pub tracer: Tracer,
+    /// The installed fault-injection handle; shared by every gated layer.
+    pub faults: Faults,
     machines: Rc<Vec<Machine>>,
     nodes: Rc<Vec<NodeId>>,
     rejected: Rc<RefCell<Vec<NodeId>>>,
@@ -134,6 +169,9 @@ impl Cloud {
         let gateway = Gateway::new(sim);
         let bmi = Bmi::new(sim, &store, &gateway);
         let tracer = Tracer::new();
+        let faults = Faults::new(config.faults.clone());
+        fabric.set_faults(&faults);
+        gateway.set_faults(&faults);
         let flash = match config.firmware {
             FirmwareKind::LinuxBoot => linuxboot_source().build(),
             FirmwareKind::Uefi => uefi_source().build(),
@@ -156,7 +194,11 @@ impl Cloud {
                 host,
                 switch,
                 i,
-                Some(Rc::new(MachineBmc(machine.clone()))),
+                Some(Rc::new(MachineBmc {
+                    machine: machine.clone(),
+                    name: name.clone(),
+                    faults: faults.clone(),
+                })),
             );
             // Provider publishes TPM identity + platform whitelist.
             hil.set_node_ek(node, machine.with_tpm(|t| t.ek_pub().clone()))
@@ -179,6 +221,7 @@ impl Cloud {
             airlock: Resource::new(sim, config.airlocks.max(1)),
             http: Resource::new(sim, 1),
             tracer,
+            faults,
             machines: Rc::new(machines),
             nodes: Rc::new(nodes),
             rejected: Rc::new(RefCell::new(Vec::new())),

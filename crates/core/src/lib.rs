@@ -28,4 +28,6 @@ pub use enclave::{revocation_experiment, Enclave, RevocationReport};
 pub use foreman::{foreman_provision, foreman_release_with_scrub};
 pub use lifecycle::{InvalidTransition, Lifecycle, NodeState};
 pub use profile::{AttestationMode, SecurityProfile};
-pub use provision::{ProvisionError, ProvisionReport, ProvisionedNode, Tenant};
+pub use provision::{
+    FleetFailure, FleetReport, ProvisionError, ProvisionReport, ProvisionedNode, Tenant,
+};

@@ -68,6 +68,11 @@ impl Lifecycle {
                 | (Free, Allocated)
                 | (Airlock, Allocated)
                 | (Airlock, Rejected)
+                // Infrastructure faults (BMC/switch/registrar unreachable
+                // after retries) abandon the attempt: the node never held
+                // tenant secrets, so it returns straight to the free pool
+                // rather than quarantine.
+                | (Airlock, Free)
                 | (Allocated, Free)
                 // Rejected nodes return to Free only after remediation
                 // (re-flash + re-attest by the provider).
@@ -115,6 +120,15 @@ mod tests {
         // A rejected node cannot go straight to a tenant.
         assert!(lc.transition(&sim, NodeState::Allocated).is_err());
         lc.transition(&sim, NodeState::Free).expect("remediated");
+    }
+
+    #[test]
+    fn airlock_abandon_returns_to_free() {
+        let sim = Sim::new();
+        let mut lc = Lifecycle::new(&sim);
+        lc.transition(&sim, NodeState::Airlock).expect("to airlock");
+        lc.transition(&sim, NodeState::Free)
+            .expect("infra fault abandons back to free");
     }
 
     #[test]

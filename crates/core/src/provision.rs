@@ -7,6 +7,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashSet;
+use std::future::Future;
 use std::rc::Rc;
 
 use bolted_bmi::BmiError;
@@ -15,14 +16,16 @@ use bolted_crypto::sha256::Digest;
 use bolted_firmware::{FirmwareKind, Machine, MachineError};
 use bolted_hil::{HilError, NetworkId, NodeId};
 use bolted_keylime::{
-    agent_binary_digest, split_key, Agent, AttestOutcome, ImaWhitelist, Registrar, TenantPayload,
-    Verifier, VerifierConfig,
+    agent_binary_digest, split_key, Agent, AttestOutcome, ImaWhitelist, RegisterError, Registrar,
+    TenantPayload, Verifier, VerifierConfig, RPC_FAULT_PREFIX,
 };
-use bolted_sim::{join_all, Rng, SimDuration, SimTime};
-use bolted_storage::IscsiTarget;
+use bolted_net::NetError;
+use bolted_sim::fault::mix_seed;
+use bolted_sim::{join_all, retry_if, RetryError, RetryPolicy, Rng, SimDuration, SimTime};
+use bolted_storage::{ImageError, IscsiTarget};
 
 use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
-use crate::lifecycle::{Lifecycle, NodeState};
+use crate::lifecycle::{InvalidTransition, Lifecycle, NodeState};
 use crate::profile::{AttestationMode, SecurityProfile};
 
 /// Errors from provisioning.
@@ -34,8 +37,24 @@ pub enum ProvisionError {
     Bmi(BmiError),
     /// Machine-level failure.
     Machine(MachineError),
+    /// Storage-path failure surfaced during boot I/O.
+    Storage(ImageError),
     /// The node failed attestation and was quarantined.
     Rejected(String),
+    /// The life-cycle tracker refused a state transition. This is an
+    /// orchestration bug surfaced as an error, not a panic, so one sick
+    /// node cannot take down a whole fleet call.
+    IllegalTransition(InvalidTransition),
+    /// An infrastructure operation kept failing after bounded retries;
+    /// the node was released back to the free pool.
+    Exhausted {
+        /// Which operation gave out.
+        op: String,
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The last error observed.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for ProvisionError {
@@ -44,7 +63,12 @@ impl std::fmt::Display for ProvisionError {
             ProvisionError::Hil(e) => write!(f, "HIL: {e}"),
             ProvisionError::Bmi(e) => write!(f, "BMI: {e}"),
             ProvisionError::Machine(e) => write!(f, "machine: {e}"),
+            ProvisionError::Storage(e) => write!(f, "storage: {e}"),
             ProvisionError::Rejected(r) => write!(f, "attestation rejected: {r}"),
+            ProvisionError::IllegalTransition(t) => write!(f, "life-cycle violation: {t}"),
+            ProvisionError::Exhausted { op, attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts at {op}: {last}")
+            }
         }
     }
 }
@@ -65,6 +89,31 @@ impl From<MachineError> for ProvisionError {
     fn from(e: MachineError) -> Self {
         ProvisionError::Machine(e)
     }
+}
+impl From<ImageError> for ProvisionError {
+    fn from(e: ImageError) -> Self {
+        ProvisionError::Storage(e)
+    }
+}
+impl From<InvalidTransition> for ProvisionError {
+    fn from(t: InvalidTransition) -> Self {
+        ProvisionError::IllegalTransition(t)
+    }
+}
+impl From<RegisterError> for ProvisionError {
+    fn from(e: RegisterError) -> Self {
+        ProvisionError::Rejected(format!("registration: {e}"))
+    }
+}
+
+/// Infrastructure errors worth retrying: the BMC or the switch
+/// management plane did not answer. Everything else (ownership, missing
+/// nodes, VLAN exhaustion) is a real error the caller must see at once.
+fn hil_transient(e: &HilError) -> bool {
+    matches!(
+        e,
+        HilError::Bmc(_) | HilError::Switch(NetError::SwitchUnreachable)
+    )
 }
 
 /// Per-phase timing of one provisioning run (Figure 4's stacked bars).
@@ -143,6 +192,27 @@ impl PhaseTimer {
     }
 }
 
+/// One node that could not be provisioned in a fleet call.
+#[derive(Debug)]
+pub struct FleetFailure {
+    /// The HIL node.
+    pub node: NodeId,
+    /// Node name (empty if even the name lookup failed).
+    pub name: String,
+    /// Why provisioning failed.
+    pub error: ProvisionError,
+}
+
+/// Outcome of [`Tenant::provision_fleet_report`]. A node that exhausts
+/// its retries is released back to the free pool and listed in `failed`
+/// instead of poisoning the whole fleet call.
+pub struct FleetReport {
+    /// Nodes that came up, in input order.
+    pub succeeded: Vec<ProvisionedNode>,
+    /// Nodes that failed, in input order.
+    pub failed: Vec<FleetFailure>,
+}
+
 /// A provisioned node handed back to the tenant.
 pub struct ProvisionedNode {
     /// HIL node id.
@@ -180,6 +250,7 @@ pub struct Tenant {
     airlock_net: NetworkId,
     ima_whitelist: Rc<RefCell<ImaWhitelist>>,
     rng: Rc<RefCell<Rng>>,
+    retry: RetryPolicy,
 }
 
 impl Tenant {
@@ -196,6 +267,10 @@ impl Tenant {
     ) -> Result<Tenant, ProvisionError> {
         let registrar = Registrar::new();
         let verifier = Verifier::new(&cloud.sim, &registrar, config);
+        // The tenant's Keylime services run over the same (faultable)
+        // network as everything else.
+        registrar.set_faults(&cloud.faults);
+        verifier.set_faults(&cloud.faults);
         let enclave = cloud
             .hil
             .create_network(project, format!("{project}-enclave"))?;
@@ -213,7 +288,14 @@ impl Tenant {
             rng: Rc::new(RefCell::new(Rng::seed_from_u64(
                 0xB01Du64 ^ project.len() as u64,
             ))),
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Replaces the retry policy used for infrastructure operations
+    /// (BMC power, switch programming, registration, boot I/O).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// The tenant's enclave network.
@@ -266,6 +348,99 @@ impl Tenant {
         published.fingerprint() == registered.fingerprint()
     }
 
+    /// Best-effort cleanup after the infrastructure gave out
+    /// mid-provision. The node never held tenant secrets it could leak
+    /// to a later tenant (attestation did not complete), so it returns
+    /// to the free pool — not quarantine — and the cloned volume is
+    /// deleted. Every step is advisory: whatever state was never reached
+    /// is skipped.
+    fn abandon(
+        &self,
+        node: NodeId,
+        name: &str,
+        lc: &mut Lifecycle,
+        image: Option<bolted_storage::ImageId>,
+    ) {
+        let sim = &self.cloud.sim;
+        self.verifier.stop(name);
+        let _ = lc.transition(sim, NodeState::Free);
+        let _ = self.cloud.hil.detach_node(&self.project, node);
+        let _ = self.cloud.hil.free_node(&self.project, node);
+        if let Some(image) = image {
+            let _ = self.cloud.bmi.release(image, false);
+        }
+        self.cloud.tracer.record(
+            sim,
+            "tenant",
+            format!("{name} ABANDONED (infrastructure fault)"),
+        );
+    }
+
+    /// Runs `op` under the tenant's retry policy, retrying only errors
+    /// `transient` accepts. A non-transient error propagates unchanged;
+    /// exhaustion/timeout becomes [`ProvisionError::Exhausted`].
+    async fn retry_infra<T, E, F, Fut, P>(
+        &self,
+        op_name: &str,
+        rng: &mut Rng,
+        op: F,
+        transient: P,
+    ) -> Result<T, ProvisionError>
+    where
+        F: FnMut() -> Fut,
+        Fut: Future<Output = Result<T, E>>,
+        P: Fn(&E) -> bool,
+        E: std::fmt::Display,
+        ProvisionError: From<E>,
+    {
+        match retry_if(&self.cloud.sim, &self.retry, rng, op, transient).await {
+            Ok(v) => Ok(v),
+            Err(RetryError::Fatal { error, .. }) => Err(error.into()),
+            Err(e) => {
+                let attempts = e.attempts();
+                let last = match e.into_inner() {
+                    Some(err) => err.to_string(),
+                    None => "timed out".to_string(),
+                };
+                Err(ProvisionError::Exhausted {
+                    op: op_name.to_string(),
+                    attempts,
+                    last,
+                })
+            }
+        }
+    }
+
+    /// As [`Tenant::retry_infra`], but an exhausted operation also
+    /// abandons the node back to the free pool before reporting.
+    #[allow(clippy::too_many_arguments)]
+    async fn retry_or_abandon<T, E, F, Fut, P>(
+        &self,
+        op_name: &str,
+        rng: &mut Rng,
+        node: NodeId,
+        name: &str,
+        lc: &mut Lifecycle,
+        image: Option<bolted_storage::ImageId>,
+        op: F,
+        transient: P,
+    ) -> Result<T, ProvisionError>
+    where
+        F: FnMut() -> Fut,
+        Fut: Future<Output = Result<T, E>>,
+        P: Fn(&E) -> bool,
+        E: std::fmt::Display,
+        ProvisionError: From<E>,
+    {
+        match self.retry_infra(op_name, rng, op, transient).await {
+            Err(e @ ProvisionError::Exhausted { .. }) => {
+                self.abandon(node, name, lc, image);
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
     /// Provisions `node` from the `golden` image under `profile`,
     /// following Figure 1. Returns the node with its timing breakdown.
     pub async fn provision(
@@ -287,20 +462,61 @@ impl Tenant {
             format!("provision {name} [{}]", profile.name),
         );
 
+        // Per-node jitter stream for retry backoff, seeded independently
+        // of the tenant RNG: the fault-free path draws from neither, so
+        // an empty fault plan reproduces timings exactly.
+        let mut retry_rng = Rng::seed_from_u64(mix_seed(0x52E7_8A11, &["provision", &name]));
+
         // Step 1: allocate, and for attested flows enter the airlock
         // network. (The serialising airlock *slot* is taken later, for
         // the attestation window only.)
         self.cloud.hil.allocate_node(&self.project, node)?;
         if profile.attested() {
-            lc.transition(sim, NodeState::Airlock)
-                .expect("free->airlock");
-            self.cloud
-                .hil
-                .connect_node(&self.project, node, self.airlock_net)?;
+            lc.transition(sim, NodeState::Airlock)?;
+            let connect = {
+                let hil = self.cloud.hil.clone();
+                let project = self.project.clone();
+                let net = self.airlock_net;
+                move || {
+                    let hil = hil.clone();
+                    let project = project.clone();
+                    async move { hil.connect_node(&project, node, net) }
+                }
+            };
+            self.retry_or_abandon(
+                "hil.connect_node",
+                &mut retry_rng,
+                node,
+                &name,
+                &mut lc,
+                None,
+                connect,
+                hil_transient,
+            )
+            .await?;
         }
 
         // Step 2: power-cycle into (measured) firmware.
-        self.cloud.hil.power_cycle(&self.project, node)?;
+        let cycle = {
+            let hil = self.cloud.hil.clone();
+            let project = self.project.clone();
+            move || {
+                let hil = hil.clone();
+                let project = project.clone();
+                async move { hil.power_cycle(&project, node) }
+            }
+        };
+        self.retry_or_abandon(
+            "hil.power_cycle",
+            &mut retry_rng,
+            node,
+            &name,
+            &mut lc,
+            None,
+            cycle,
+            hil_transient,
+        )
+        .await?;
         machine.run_firmware(sim).await?;
         timer.mark("post");
 
@@ -353,12 +569,47 @@ impl Tenant {
                 // Fork a task-local RNG: RefCell borrows must never be
                 // held across an await.
                 let mut task_rng = self.rng.borrow_mut().fork();
-                {
+                let first_try = {
                     let mut src = SimRngSource(&mut task_rng);
-                    agent
-                        .register(sim, &self.registrar, &mut src)
-                        .await
-                        .map_err(|e| ProvisionError::Rejected(format!("registration: {e}")))?;
+                    agent.register(sim, &self.registrar, &mut src).await
+                };
+                if let Err(e) = first_try {
+                    if !e.is_transient() {
+                        return Err(e.into());
+                    }
+                    // The registration round-trip was dropped. Retry it
+                    // under the policy. The first attempt ran inline off
+                    // task_rng so that fault-free runs consume exactly
+                    // the same RNG stream as before this retry existed;
+                    // only the (already off-schedule) retries fork.
+                    let retry_parent = Rc::new(RefCell::new(task_rng.fork()));
+                    let reg_op = {
+                        let agent = agent.clone();
+                        let registrar = self.registrar.clone();
+                        let sim = sim.clone();
+                        let parent = retry_parent.clone();
+                        move || {
+                            let agent = agent.clone();
+                            let registrar = registrar.clone();
+                            let sim = sim.clone();
+                            let mut r = parent.borrow_mut().fork();
+                            async move {
+                                let mut src = SimRngSource(&mut r);
+                                agent.register(&sim, &registrar, &mut src).await
+                            }
+                        }
+                    };
+                    self.retry_or_abandon(
+                        "keylime.register",
+                        &mut retry_rng,
+                        node,
+                        &name,
+                        &mut lc,
+                        Some(image),
+                        reg_op,
+                        RegisterError::is_transient,
+                    )
+                    .await?;
                 }
                 timer.mark("keylime-register");
                 debug_assert!(self.verify_node_identity(node, &name));
@@ -406,11 +657,22 @@ impl Tenant {
                 );
                 match self.verifier.attest_once(&name, false).await {
                     AttestOutcome::Trusted => {}
+                    AttestOutcome::Failed(reason) if reason.starts_with(RPC_FAULT_PREFIX) => {
+                        // The verifier could not *reach* the node even
+                        // after its own retries. That is an infrastructure
+                        // failure, not evidence of compromise: release the
+                        // node instead of quarantining it.
+                        self.abandon(node, &name, &mut lc, Some(image));
+                        return Err(ProvisionError::Exhausted {
+                            op: "verifier.attest".into(),
+                            attempts: self.verifier.config().retry.max_attempts,
+                            last: reason,
+                        });
+                    }
                     AttestOutcome::Failed(reason) => {
                         // Step 5 (failure): move to the rejected pool and
                         // clean up the cloned volume.
-                        lc.transition(sim, NodeState::Rejected)
-                            .expect("airlock->rejected");
+                        lc.transition(sim, NodeState::Rejected)?;
                         self.cloud.hil.detach_node(&self.project, node)?;
                         self.cloud.hil.free_node(&self.project, node)?;
                         self.cloud.quarantine(node);
@@ -433,17 +695,29 @@ impl Tenant {
         };
 
         // Step 4/6: leave the airlock, join the tenant enclave.
-        self.cloud
-            .hil
-            .connect_node(&self.project, node, self.enclave)?;
+        let join_enclave = {
+            let hil = self.cloud.hil.clone();
+            let project = self.project.clone();
+            let net = self.enclave;
+            move || {
+                let hil = hil.clone();
+                let project = project.clone();
+                async move { hil.connect_node(&project, node, net) }
+            }
+        };
+        self.retry_or_abandon(
+            "hil.connect_node",
+            &mut retry_rng,
+            node,
+            &name,
+            &mut lc,
+            Some(image),
+            join_enclave,
+            hil_transient,
+        )
+        .await?;
         sim.sleep(calib.network_move).await;
-        if lc.state() == NodeState::Airlock {
-            lc.transition(sim, NodeState::Allocated)
-                .expect("airlock->allocated");
-        } else {
-            lc.transition(sim, NodeState::Allocated)
-                .expect("free->allocated");
-        }
+        lc.transition(sim, NodeState::Allocated)?;
         timer.mark("network-move");
 
         // kexec into the tenant kernel and boot from the network disk.
@@ -469,7 +743,32 @@ impl Tenant {
             let mut off = 0u64;
             while off < total {
                 let len = req.min(total - off);
-                let _ = target.read_timed(off, len).await;
+                let read = {
+                    let target = target.clone();
+                    move || {
+                        let target = target.clone();
+                        async move {
+                            match target.read_timed(off, len).await {
+                                // Only injected transient faults retry;
+                                // other read outcomes were (and are)
+                                // ignored by the boot loop.
+                                Err(ImageError::Transient) => Err(ImageError::Transient),
+                                _ => Ok(()),
+                            }
+                        }
+                    }
+                };
+                self.retry_or_abandon(
+                    "storage.read",
+                    &mut retry_rng,
+                    node,
+                    &name,
+                    &mut lc,
+                    Some(image),
+                    read,
+                    |e| matches!(e, ImageError::Transient),
+                )
+                .await?;
                 off += len;
             }
         }
@@ -526,6 +825,30 @@ impl Tenant {
         join_all(handles).await
     }
 
+    /// As [`Tenant::provision_fleet`], but splits the per-node results
+    /// into a structured report of successes and failures.
+    pub async fn provision_fleet_report(
+        &self,
+        nodes: &[NodeId],
+        profile: &SecurityProfile,
+        golden: bolted_storage::ImageId,
+    ) -> FleetReport {
+        let results = self.provision_fleet(nodes, profile, golden).await;
+        let mut succeeded = Vec::new();
+        let mut failed = Vec::new();
+        for (&node, result) in nodes.iter().zip(results) {
+            match result {
+                Ok(p) => succeeded.push(p),
+                Err(error) => failed.push(FleetFailure {
+                    node,
+                    name: self.cloud.hil.node_name(node).unwrap_or_default(),
+                    error,
+                }),
+            }
+        }
+        FleetReport { succeeded, failed }
+    }
+
     /// Warm restart: power-cycles an already-provisioned node and boots
     /// it back into the enclave using the TPM-sealed bootstrap key —
     /// **no registrar round, no verifier round, no U/V re-bootstrap**.
@@ -548,7 +871,23 @@ impl Tenant {
         let agent = pnode.agent.as_ref().ok_or_else(|| {
             ProvisionError::Rejected("warm restart needs an attested node".into())
         })?;
-        self.cloud.hil.power_cycle(&self.project, pnode.node)?;
+        let mut retry_rng = Rng::seed_from_u64(mix_seed(
+            0x52E7_8A12,
+            &["warm-restart", &pnode.report.node],
+        ));
+        let cycle = {
+            let hil = self.cloud.hil.clone();
+            let project = self.project.clone();
+            let node = pnode.node;
+            move || {
+                let hil = hil.clone();
+                let project = project.clone();
+                async move { hil.power_cycle(&project, node) }
+            }
+        };
+        // No abandon here: the node stays the caller's either way.
+        self.retry_infra("hil.power_cycle", &mut retry_rng, cycle, hil_transient)
+            .await?;
         machine.run_firmware(sim).await?;
         timer.mark("post");
         // Re-fetch + measure the agent so PCR 4 replays the sealed policy.
@@ -584,7 +923,22 @@ impl Tenant {
             let mut off = 0u64;
             while off < total {
                 let len = req.min(total - off);
-                let _ = pnode.target.read_timed(off, len).await;
+                let read = {
+                    let target = pnode.target.clone();
+                    move || {
+                        let target = target.clone();
+                        async move {
+                            match target.read_timed(off, len).await {
+                                Err(ImageError::Transient) => Err(ImageError::Transient),
+                                _ => Ok(()),
+                            }
+                        }
+                    }
+                };
+                self.retry_infra("storage.read", &mut retry_rng, read, |e| {
+                    matches!(e, ImageError::Transient)
+                })
+                .await?;
                 off += len;
             }
         }
@@ -623,10 +977,7 @@ impl Tenant {
         self.cloud.hil.power_off(&self.project, pnode.node)?;
         self.cloud.hil.free_node(&self.project, pnode.node)?;
         self.cloud.bmi.release(pnode.image, keep_volume)?;
-        pnode
-            .lifecycle
-            .transition(sim, NodeState::Free)
-            .expect("allocated->free");
+        pnode.lifecycle.transition(sim, NodeState::Free)?;
         self.cloud.tracer.record(
             sim,
             "tenant",

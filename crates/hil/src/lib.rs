@@ -33,15 +33,38 @@ pub struct NetworkId(pub usize);
 
 /// Out-of-band power control HIL exposes per node (the BMC). Implemented
 /// by the firmware machine model; HIL itself never touches node software.
+/// BMCs sit on a management network of their own and do fail — commands
+/// can be lost or rejected, so every operation is fallible and callers
+/// are expected to retry.
 pub trait BmcOps {
     /// Powers the node on (firmware will POST).
-    fn power_on(&self);
+    fn power_on(&self) -> Result<(), BmcError>;
     /// Hard power-off.
-    fn power_off(&self);
+    fn power_off(&self) -> Result<(), BmcError>;
     /// Power cycle — the only way firmware can be re-entered, and thus
     /// the only way control can change hands (§5).
-    fn power_cycle(&self);
+    fn power_cycle(&self) -> Result<(), BmcError>;
 }
+
+/// Errors from BMC power operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmcError {
+    /// The BMC did not answer (management network drop, controller hung).
+    Unreachable,
+    /// The BMC answered but refused or botched the command.
+    CommandFailed,
+}
+
+impl std::fmt::Display for BmcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BmcError::Unreachable => write!(f, "BMC unreachable"),
+            BmcError::CommandFailed => write!(f, "BMC command failed"),
+        }
+    }
+}
+
+impl std::error::Error for BmcError {}
 
 /// Errors from HIL operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +81,8 @@ pub enum HilError {
     NoFreeVlans,
     /// Underlying switch operation failed.
     Switch(NetError),
+    /// Underlying BMC operation failed.
+    Bmc(BmcError),
 }
 
 impl std::fmt::Display for HilError {
@@ -69,6 +94,7 @@ impl std::fmt::Display for HilError {
             HilError::NodeBusy => write!(f, "node already allocated"),
             HilError::NoFreeVlans => write!(f, "VLAN pool exhausted"),
             HilError::Switch(e) => write!(f, "switch error: {e}"),
+            HilError::Bmc(e) => write!(f, "BMC error: {e}"),
         }
     }
 }
@@ -78,6 +104,12 @@ impl std::error::Error for HilError {}
 impl From<NetError> for HilError {
     fn from(e: NetError) -> Self {
         HilError::Switch(e)
+    }
+}
+
+impl From<BmcError> for HilError {
+    fn from(e: BmcError) -> Self {
+        HilError::Bmc(e)
     }
 }
 
@@ -375,7 +407,7 @@ impl Hil {
         self.check_owner(project, node)?;
         let bmc = self.inner.borrow().nodes[node.0].bmc.clone();
         if let Some(bmc) = bmc {
-            bmc.power_cycle();
+            bmc.power_cycle()?;
         }
         self.log(format!("power-cycle node {}", node.0));
         Ok(())
@@ -386,7 +418,7 @@ impl Hil {
         self.check_owner(project, node)?;
         let bmc = self.inner.borrow().nodes[node.0].bmc.clone();
         if let Some(bmc) = bmc {
-            bmc.power_off();
+            bmc.power_off()?;
         }
         self.log(format!("power-off node {}", node.0));
         Ok(())
@@ -533,10 +565,15 @@ mod tests {
             cycles: Cell<u32>,
         }
         impl BmcOps for FakeBmc {
-            fn power_on(&self) {}
-            fn power_off(&self) {}
-            fn power_cycle(&self) {
+            fn power_on(&self) -> Result<(), BmcError> {
+                Ok(())
+            }
+            fn power_off(&self) -> Result<(), BmcError> {
+                Ok(())
+            }
+            fn power_cycle(&self) -> Result<(), BmcError> {
                 self.cycles.set(self.cycles.get() + 1);
+                Ok(())
             }
         }
         let (_sim, fabric, hil, _n1, _n2) = setup();
@@ -555,5 +592,39 @@ mod tests {
             Err(HilError::NotOwner),
             "only the owner may power-cycle"
         );
+    }
+
+    #[test]
+    fn bmc_failures_propagate() {
+        struct DeadBmc;
+        impl BmcOps for DeadBmc {
+            fn power_on(&self) -> Result<(), BmcError> {
+                Err(BmcError::Unreachable)
+            }
+            fn power_off(&self) -> Result<(), BmcError> {
+                Err(BmcError::Unreachable)
+            }
+            fn power_cycle(&self) -> Result<(), BmcError> {
+                Err(BmcError::Unreachable)
+            }
+        }
+        let (_sim, fabric, hil, _n1, _n2) = setup();
+        let sw = SwitchId(0);
+        let h = fabric.add_host("n4", LinkModel::ten_gbe());
+        fabric.attach(h, sw, 3).expect("attach");
+        let n4 = hil.register_node("n4", h, sw, 3, Some(Rc::new(DeadBmc)));
+        hil.allocate_node("charlie", n4).expect("allocates");
+        let err = hil.power_cycle("charlie", n4).unwrap_err();
+        assert_eq!(err, HilError::Bmc(BmcError::Unreachable));
+        assert_eq!(err.to_string(), "BMC error: BMC unreachable");
+        assert_eq!(
+            hil.power_off("charlie", n4),
+            Err(HilError::Bmc(BmcError::Unreachable))
+        );
+        // A failed power op must not appear in the audit log as done.
+        assert!(!hil
+            .audit_log()
+            .iter()
+            .any(|l| l.contains("power-cycle node")));
     }
 }

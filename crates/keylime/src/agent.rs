@@ -18,7 +18,7 @@ use bolted_tpm::{CredentialBlob, EventLog, Quote, SealedBlob, TpmError};
 
 use crate::ima::ImaLog;
 use crate::payload::{combine_key, KeyShare, TenantPayload};
-use crate::registrar::Registrar;
+use crate::registrar::{Registrar, RegistrarError};
 
 /// The canonical agent binary (what gets downloaded and measured). In
 /// the real system this is the Python agent; here it is a stand-in byte
@@ -28,6 +28,46 @@ pub const AGENT_BINARY: &[u8] = b"keylime-agent v6 (rust rewrite, as the paper s
 /// Digest of [`AGENT_BINARY`].
 pub fn agent_binary_digest() -> Digest {
     sha256(AGENT_BINARY)
+}
+
+/// Why an agent failed to register with the registrar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The node's TPM failed the credential-activation protocol.
+    Tpm(TpmError),
+    /// The registrar rejected (or never received) the request.
+    Registrar(RegistrarError),
+}
+
+impl RegisterError {
+    /// True when the failure is worth retrying (the service was
+    /// unreachable, as opposed to a protocol rejection).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RegisterError::Registrar(RegistrarError::Unavailable))
+    }
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::Tpm(e) => write!(f, "TPM error: {e:?}"),
+            RegisterError::Registrar(e) => write!(f, "registrar error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+impl From<TpmError> for RegisterError {
+    fn from(e: TpmError) -> Self {
+        RegisterError::Tpm(e)
+    }
+}
+
+impl From<RegistrarError> for RegisterError {
+    fn from(e: RegistrarError) -> Self {
+        RegisterError::Registrar(e)
+    }
 }
 
 /// Everything a verifier receives in response to an attestation request.
@@ -90,29 +130,27 @@ impl Agent {
     }
 
     /// Registers with a registrar and activates the credential challenge,
-    /// charging the TPM activation latency.
+    /// charging the TPM activation latency. A
+    /// [`RegistrarError::Unavailable`] rejection
+    /// ([`RegisterError::is_transient`]) is safe to retry.
     pub async fn register(
         &self,
         sim: &Sim,
         registrar: &Registrar,
         rng: &mut dyn bolted_crypto::prime::RandomSource,
-    ) -> Result<(), TpmError> {
+    ) -> Result<(), RegisterError> {
         let (ek, aik) = self.machine.with_tpm(|t| {
             (
                 t.ek_pub().clone(),
                 t.aik_pub().expect("AIK created in start()").clone(),
             )
         });
-        let blob: CredentialBlob = registrar
-            .register(&self.id, ek, aik, rng)
-            .map_err(|_| TpmError::BadCredential)?;
+        let blob: CredentialBlob = registrar.register(&self.id, ek, aik, rng)?;
         let activate_ns = self.machine.with_tpm(|t| t.timings().activate_ns);
         sim.sleep(SimDuration::from_nanos(activate_ns)).await;
         let secret = self.machine.with_tpm(|t| t.activate_credential(&blob))?;
         let proof = Registrar::proof_for(&self.id, &secret);
-        registrar
-            .activate(&self.id, &proof)
-            .map_err(|_| TpmError::BadCredential)?;
+        registrar.activate(&self.id, &proof)?;
         Ok(())
     }
 

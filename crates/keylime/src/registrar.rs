@@ -26,6 +26,9 @@ pub enum RegistrarError {
     AlreadyActive,
     /// Activation proof did not match the challenge.
     BadProof,
+    /// The registrar service did not answer (transient; injected by the
+    /// fault plan). Retry the round-trip.
+    Unavailable,
 }
 
 impl std::fmt::Display for RegistrarError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for RegistrarError {
             RegistrarError::Unknown => write!(f, "unknown agent"),
             RegistrarError::AlreadyActive => write!(f, "agent already activated"),
             RegistrarError::BadProof => write!(f, "credential activation proof mismatch"),
+            RegistrarError::Unavailable => write!(f, "registrar unavailable"),
         }
     }
 }
@@ -51,12 +55,19 @@ struct Entry {
 #[derive(Clone, Default)]
 pub struct Registrar {
     inner: Rc<RefCell<HashMap<String, Entry>>>,
+    faults: Rc<RefCell<bolted_sim::Faults>>,
 }
 
 impl Registrar {
     /// Creates an empty registrar.
     pub fn new() -> Self {
         Registrar::default()
+    }
+
+    /// Installs a fault-injection handle; registration round-trips
+    /// consult it (existing clones of this registrar see it too).
+    pub fn set_faults(&self, faults: &bolted_sim::Faults) {
+        *self.faults.borrow_mut() = faults.clone();
     }
 
     /// Computes the activation proof for a recovered challenge secret.
@@ -78,6 +89,17 @@ impl Registrar {
         aik: PublicKey,
         rng: &mut dyn RandomSource,
     ) -> Result<CredentialBlob, RegistrarError> {
+        // Model a dropped registration round-trip. Safe to retry: the
+        // request never reached the registrar, so no state changed.
+        {
+            let faults = self.faults.borrow();
+            if faults.enabled()
+                && faults.decide(bolted_sim::fault::ops::REGISTRAR_REGISTER, agent_id)
+                    == bolted_sim::FaultDecision::Fail
+            {
+                return Err(RegistrarError::Unavailable);
+            }
+        }
         let mut inner = self.inner.borrow_mut();
         // Re-registration after a reboot is normal (fresh AIK, same EK).
         // What must never succeed is a *different* machine taking over an

@@ -15,13 +15,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
-use bolted_sim::{channel, join_all, JoinHandle, Receiver, Sender, Sim, SimDuration, SimTime};
-use bolted_tpm::{index, PcrBank, Quote};
+use bolted_sim::fault::{mix_seed, ops, Faults};
+use bolted_sim::{retry_if, RetryError, RetryPolicy};
+use bolted_sim::{channel, join_all, JoinHandle, Receiver, Rng, Sender, Sim, SimDuration, SimTime};
+use bolted_tpm::{index, PcrBank, Quote, TpmError};
 
 use crate::agent::{Agent, AttestationEvidence};
 use crate::ima::ImaWhitelist;
 use crate::payload::KeyShare;
 use crate::registrar::Registrar;
+
+/// Prefix on failure reasons caused by injected verifier-RPC faults
+/// (dropped quote round-trips) rather than by bad evidence. Callers use
+/// it to distinguish "infrastructure gave out" — release the node, don't
+/// quarantine it — from a genuine attestation rejection.
+pub const RPC_FAULT_PREFIX: &str = "verifier-rpc";
 
 /// Timing and selection configuration for a verifier.
 #[derive(Debug, Clone)]
@@ -41,6 +49,9 @@ pub struct VerifierConfig {
     pub boot_selection: Vec<usize>,
     /// PCRs quoted during continuous attestation (adds IMA's PCR 10).
     pub continuous_selection: Vec<usize>,
+    /// Retry discipline for the quote round-trip (dropped RPCs under a
+    /// fault plan are retried with backoff; agent rejections are not).
+    pub retry: RetryPolicy,
 }
 
 impl Default for VerifierConfig {
@@ -57,6 +68,7 @@ impl Default for VerifierConfig {
                 index::BOOT_CONFIG,
                 index::IMA,
             ],
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -139,6 +151,7 @@ pub struct Verifier {
     sim: Sim,
     registrar: Registrar,
     config: VerifierConfig,
+    faults: Rc<RefCell<Faults>>,
     inner: Rc<RefCell<VerifierInner>>,
 }
 
@@ -149,6 +162,7 @@ impl Verifier {
             sim: sim.clone(),
             registrar: registrar.clone(),
             config,
+            faults: Rc::new(RefCell::new(Faults::disabled())),
             inner: Rc::new(RefCell::new(VerifierInner {
                 nodes: HashMap::new(),
                 subscribers: Vec::new(),
@@ -156,6 +170,12 @@ impl Verifier {
                 aik_cache: HashMap::new(),
             })),
         }
+    }
+
+    /// Installs a fault-injection handle; quote round-trips consult it
+    /// (existing clones of this verifier see it too).
+    pub fn set_faults(&self, faults: &Faults) {
+        *self.faults.borrow_mut() = faults.clone();
     }
 
     /// The active configuration.
@@ -378,17 +398,66 @@ impl Verifier {
             (node.agent.clone(), sel)
         };
         let nonce = self.fresh_nonce();
-        self.sim.sleep(self.config.rtt).await;
-        let evidence = match agent.attest(&self.sim, nonce, &selection).await {
+        // The quote round-trip [rtt → RPC → rtt] can be dropped by the
+        // fault plan; dropped rounds retry with backoff. Agent *errors*
+        // (the TPM refused to quote) are protocol outcomes, not network
+        // noise: they abort immediately and revoke, exactly as before.
+        // On the fault-free path the retry wrapper adds zero sleeps and
+        // zero RNG draws, and the per-node jitter stream is seeded
+        // locally, so timing is byte-identical to the pre-retry code.
+        enum RoundError {
+            Dropped,
+            Agent(TpmError),
+        }
+        let faults = self.faults.borrow().clone();
+        let mut retry_rng = Rng::seed_from_u64(mix_seed(0x5EC0_11D5, &[node_id]));
+        let op = || {
+            let sim = self.sim.clone();
+            let faults = faults.clone();
+            let agent = agent.clone();
+            let selection = selection.clone();
+            let rtt = self.config.rtt;
+            let id = node_id.to_string();
+            async move {
+                sim.sleep(rtt).await;
+                faults
+                    .gate(&sim, ops::VERIFIER_QUOTE, &id)
+                    .await
+                    .map_err(|_| RoundError::Dropped)?;
+                let ev = agent
+                    .attest(&sim, nonce, &selection)
+                    .await
+                    .map_err(RoundError::Agent)?;
+                sim.sleep(rtt).await;
+                Ok(ev)
+            }
+        };
+        let evidence = match retry_if(&self.sim, &self.config.retry, &mut retry_rng, op, |e| {
+            matches!(e, RoundError::Dropped)
+        })
+        .await
+        {
             Ok(ev) => ev,
-            Err(e) => {
+            Err(RetryError::Fatal {
+                error: RoundError::Agent(e),
+                ..
+            }) => {
                 let reason = format!("agent error: {e}");
                 self.fail_node(node_id, &reason);
                 self.broadcast_revocation(node_id, &reason).await;
                 return Err(reason);
             }
+            Err(e) => {
+                // Exhausted/timed out on injected drops: infrastructure
+                // failure, not evidence of compromise. No fail_node, no
+                // revocation broadcast — the caller decides what to do
+                // with an unreachable node.
+                return Err(format!(
+                    "{RPC_FAULT_PREFIX}: quote round-trip failed after {} attempts",
+                    e.attempts()
+                ));
+            }
         };
-        self.sim.sleep(self.config.rtt).await;
         self.sim.sleep(self.config.verify_cost).await;
         Ok(PendingAttest {
             node_id: node_id.to_string(),
@@ -932,6 +1001,123 @@ mod tests {
             }
         });
         assert!(err.contains("does not replay"), "got: {err}");
+    }
+
+    #[test]
+    fn transient_quote_drops_retried_to_trusted() {
+        use bolted_sim::fault::{FaultPlan, FaultSpec};
+        let r = rig();
+        let faults = Faults::new(
+            FaultPlan::seeded(7).with_target(ops::VERIFIER_QUOTE, "node-1", FaultSpec::flaky(2)),
+        );
+        r.verifier.set_faults(&faults);
+        let outcome = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                v.attest_once("node-1", false).await
+            }
+        });
+        // Two dropped round-trips, then success on the third attempt.
+        assert_eq!(outcome, AttestOutcome::Trusted);
+        assert_eq!(faults.injected(ops::VERIFIER_QUOTE), 2);
+        assert_eq!(r.verifier.status("node-1"), Some(NodeStatus::Trusted));
+    }
+
+    #[test]
+    fn exhausted_quote_rpc_fails_without_revocation() {
+        use bolted_sim::fault::{FaultPlan, FaultSpec};
+        let r = rig();
+        let faults = Faults::new(
+            FaultPlan::seeded(7)
+                .with_target(ops::VERIFIER_QUOTE, "node-1", FaultSpec::permanent()),
+        );
+        r.verifier.set_faults(&faults);
+        let (outcome, revocation) = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m,
+                    registrar: reg,
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                v.add_node(&agent, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                let rx = v.subscribe_revocations();
+                let outcome = v.attest_once("node-1", false).await;
+                (outcome, rx.try_recv())
+            }
+        });
+        // An unreachable verifier RPC is an infrastructure failure, not
+        // evidence of compromise: the reason is tagged for the caller and
+        // the node is neither marked Failed nor revoked.
+        match outcome {
+            AttestOutcome::Failed(ref reason) => {
+                assert!(reason.starts_with(RPC_FAULT_PREFIX), "got: {reason}")
+            }
+            other => panic!("expected infra failure, got {other:?}"),
+        }
+        assert!(revocation.is_none(), "no revocation for infra faults");
+        assert!(r.verifier.detected_at("node-1").is_none());
+        assert_eq!(r.verifier.status("node-1"), Some(NodeStatus::Pending));
+    }
+
+    /// A remediation reboot creates a fresh AIK under the same EK; the
+    /// verifier's AIK cache still holds the old key. The invalidate-and
+    /// -retry-once path must refetch from the registrar and accept the
+    /// new quote rather than declaring the signature forged.
+    #[test]
+    fn aik_cache_refreshed_after_reregistration() {
+        let r = rig();
+        let (first, second, quotes) = r.sim.block_on({
+            let sim = r.sim.clone();
+            let m = r.machine.clone();
+            let reg = r.registrar.clone();
+            let v = r.verifier.clone();
+            let wl = r.boot_whitelist.clone();
+            async move {
+                let rig_ref = Rig {
+                    sim: sim.clone(),
+                    machine: m.clone(),
+                    registrar: reg.clone(),
+                    verifier: v.clone(),
+                    boot_whitelist: wl.clone(),
+                };
+                let agent = boot_and_register(&rig_ref).await;
+                v.add_node(&agent, wl.clone(), ImaWhitelist::new(), None, Vec::new(), 0);
+                let first = v.attest_once("node-1", false).await; // warms the AIK cache
+                // Reboot: fresh AIK on the same TPM (same EK), re-register,
+                // re-add. The verifier's cache entry is now stale.
+                m.power_cycle();
+                let agent2 = boot_and_register(&rig_ref).await;
+                v.add_node(&agent2, wl, ImaWhitelist::new(), None, Vec::new(), 0);
+                let second = v.attest_once("node-1", false).await;
+                (first, second, v.quotes_verified("node-1"))
+            }
+        });
+        assert_eq!(first, AttestOutcome::Trusted);
+        assert_eq!(second, AttestOutcome::Trusted);
+        // add_node replaced the node state, so only the post-reboot quote
+        // is counted — proof the second round went through verification.
+        assert_eq!(quotes, 1);
     }
 }
 

@@ -13,6 +13,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bolted_crypto::cost::CipherCost;
+use bolted_sim::fault::{ops, FaultDecision, Faults};
 use bolted_sim::{Resource, Sim, SimDuration};
 
 use crate::link::{LinkModel, ESP_OVERHEAD_BYTES};
@@ -41,6 +42,9 @@ pub enum NetError {
     IsolationViolation,
     /// Same VLAN but no trunk path between the switches.
     NoRoute,
+    /// The switch's management plane did not answer (transient; injected
+    /// by the fault plan). Retry the operation.
+    SwitchUnreachable,
 }
 
 impl std::fmt::Display for NetError {
@@ -51,6 +55,7 @@ impl std::fmt::Display for NetError {
             NetError::PortBusy => write!(f, "switch port already occupied"),
             NetError::IsolationViolation => write!(f, "VLAN isolation violation"),
             NetError::NoRoute => write!(f, "no trunk path between switches"),
+            NetError::SwitchUnreachable => write!(f, "switch management plane unreachable"),
         }
     }
 }
@@ -148,6 +153,7 @@ struct FabricInner {
     taps: HashMap<VlanId, Vec<Vec<u8>>>,
     tap_enabled: bool,
     violations: u64,
+    faults: Faults,
 }
 
 /// The shared network fabric.
@@ -171,6 +177,7 @@ impl Fabric {
                 taps: HashMap::new(),
                 tap_enabled: false,
                 violations: 0,
+                faults: Faults::disabled(),
             })),
             tx_locks: Rc::new(RefCell::new(Vec::new())),
             rx_locks: Rc::new(RefCell::new(Vec::new())),
@@ -237,6 +244,12 @@ impl Fabric {
         }
     }
 
+    /// Installs a fault-injection handle; subsequent control-plane calls
+    /// (VLAN programming) consult it.
+    pub fn set_faults(&self, faults: &Faults) {
+        self.inner.borrow_mut().faults = faults.clone();
+    }
+
     /// Sets (or clears) the access VLAN of a switch port.
     /// This is HIL's core privileged operation.
     pub fn set_port_vlan(
@@ -246,6 +259,22 @@ impl Fabric {
         vlan: Option<VlanId>,
     ) -> Result<(), NetError> {
         let mut inner = self.inner.borrow_mut();
+        if inner.faults.enabled() {
+            // Key the fault stream by the attached host's name so chaos
+            // plans can target "that node's switch port" symbolically.
+            let target = inner
+                .switches
+                .get(switch.0)
+                .and_then(|sw| sw.ports.get(port))
+                .and_then(|p| p.host)
+                .map(|h| inner.hosts[h].name.clone())
+                .unwrap_or_else(|| format!("sw{}:p{}", switch.0, port));
+            // Delay is meaningless for a synchronous control call; only
+            // Fail is observable here.
+            if inner.faults.decide(ops::SWITCH_SET_VLAN, &target) == FaultDecision::Fail {
+                return Err(NetError::SwitchUnreachable);
+            }
+        }
         let sw = inner
             .switches
             .get_mut(switch.0)
@@ -579,6 +608,29 @@ mod tests {
         fabric2.set_host_vlan(a, Some(7)).expect("vlan");
         fabric2.set_host_vlan(b, Some(7)).expect("vlan");
         assert_eq!(fabric2.path(a, b), Err(NetError::NoRoute));
+    }
+
+    #[test]
+    fn vlan_programming_respects_fault_plan() {
+        use bolted_sim::fault::{ops, FaultPlan, FaultSpec, Faults};
+        let (_sim, fabric, a, b) = setup();
+        let faults = Faults::new(
+            FaultPlan::seeded(1).with_target(ops::SWITCH_SET_VLAN, "node-a", FaultSpec::flaky(2)),
+        );
+        fabric.set_faults(&faults);
+        // node-a's port flaps twice, then recovers.
+        assert_eq!(
+            fabric.set_host_vlan(a, Some(100)),
+            Err(NetError::SwitchUnreachable)
+        );
+        assert_eq!(
+            fabric.set_host_vlan(a, Some(100)),
+            Err(NetError::SwitchUnreachable)
+        );
+        assert_eq!(fabric.set_host_vlan(a, Some(100)), Ok(()));
+        // Untargeted ports are unaffected throughout.
+        assert_eq!(fabric.set_host_vlan(b, Some(100)), Ok(()));
+        assert_eq!(faults.injected(ops::SWITCH_SET_VLAN), 2);
     }
 
     #[test]

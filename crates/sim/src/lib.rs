@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 
 mod executor;
+pub mod fault;
+mod retry;
 mod rng;
 mod stats;
 mod sync;
@@ -22,6 +24,8 @@ mod time;
 mod trace;
 
 pub use executor::{join_all, JoinHandle, Sim, Sleep};
+pub use fault::{FaultDecision, FaultInjected, FaultPlan, FaultSpec, Faults};
+pub use retry::{retry, retry_if, with_timeout, RetryError, RetryPolicy};
 pub use rng::{Rng, SplitMix64};
 pub use stats::{OnlineStats, Samples};
 pub use sync::{channel, Acquire, Event, EventWait, Permit, Receiver, Recv, Resource, Sender};

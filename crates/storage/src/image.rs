@@ -21,6 +21,9 @@ pub enum ImageError {
     HasChildren,
     /// Byte range exceeds the image size.
     OutOfBounds,
+    /// Transient storage-path failure (gateway hiccup, Ceph OSD timeout;
+    /// injected by the fault plan). Retry the operation.
+    Transient,
 }
 
 impl std::fmt::Display for ImageError {
@@ -31,6 +34,7 @@ impl std::fmt::Display for ImageError {
             ImageError::Frozen => write!(f, "image is frozen"),
             ImageError::HasChildren => write!(f, "image has dependent clones"),
             ImageError::OutOfBounds => write!(f, "I/O beyond image size"),
+            ImageError::Transient => write!(f, "transient storage failure"),
         }
     }
 }
@@ -197,6 +201,18 @@ impl ImageStore {
     /// Looks up an image by name.
     pub fn lookup(&self, name: &str) -> Option<ImageId> {
         self.inner.borrow().by_name.get(name).copied()
+    }
+
+    /// The image's name (reverse of [`ImageStore::lookup`]).
+    pub fn name(&self, id: ImageId) -> Result<String, ImageError> {
+        Ok(self
+            .inner
+            .borrow()
+            .images
+            .get(&id)
+            .ok_or(ImageError::NoSuchImage)?
+            .name
+            .clone())
     }
 
     /// Image size in bytes.

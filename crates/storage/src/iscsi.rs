@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use bolted_crypto::cost::CipherCost;
+use bolted_sim::fault::{ops, Faults};
 use bolted_sim::{JoinHandle, Resource, Sim, SimDuration};
 
 use crate::cluster::ImageId;
@@ -40,6 +41,10 @@ pub struct Gateway {
     service: Resource,
     /// Gateway processing + NIC throughput, bytes per second.
     bandwidth_bps: f64,
+    /// Fault-injection handle consulted on every read path. Double
+    /// indirection so a handle installed after targets were opened (and
+    /// the gateway cloned into them) is still seen by all of them.
+    faults: Rc<RefCell<Faults>>,
 }
 
 impl Gateway {
@@ -54,7 +59,19 @@ impl Gateway {
         Gateway {
             service: Resource::new(sim, 1),
             bandwidth_bps,
+            faults: Rc::new(RefCell::new(Faults::disabled())),
         }
+    }
+
+    /// Installs a fault-injection handle; targets opened from this
+    /// gateway (including ones opened before this call) consult it on
+    /// every read.
+    pub fn set_faults(&self, faults: &Faults) {
+        *self.faults.borrow_mut() = faults.clone();
+    }
+
+    fn faults(&self) -> Faults {
+        self.faults.borrow().clone()
     }
 
     async fn charge(&self, bytes: u64) {
@@ -127,6 +144,8 @@ pub struct IscsiTarget {
     sim: Sim,
     store: ImageStore,
     image: ImageId,
+    /// Image name, resolved once; the fault-plan key for this target.
+    fault_key: String,
     gateway: Gateway,
     transport: Transport,
     read_ahead: u64,
@@ -147,6 +166,7 @@ impl IscsiTarget {
             sim: sim.clone(),
             store: store.clone(),
             image,
+            fault_key: store.name(image).unwrap_or_default(),
             gateway: gateway.clone(),
             transport,
             read_ahead: read_ahead.max(512),
@@ -295,8 +315,19 @@ impl IscsiTarget {
         Ok(())
     }
 
+    /// Fault gate for the read path: latency spikes sleep, injected
+    /// failures surface as [`ImageError::Transient`].
+    async fn read_gate(&self) -> Result<(), ImageError> {
+        self.gateway
+            .faults()
+            .gate(&self.sim, ops::STORAGE_READ, &self.fault_key)
+            .await
+            .map_err(|_| ImageError::Transient)
+    }
+
     /// Reads `len` bytes at `offset` with timing, returning the data.
     pub async fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, ImageError> {
+        self.read_gate().await?;
         self.ensure(offset, len as u64).await?;
         self.state.borrow_mut().bytes_to_client += len as u64;
         self.sim.sleep(self.transport.wire_time(len as u64)).await;
@@ -305,6 +336,7 @@ impl IscsiTarget {
 
     /// Timing-only read (no data materialisation) for large workloads.
     pub async fn read_timed(&self, offset: u64, len: u64) -> Result<(), ImageError> {
+        self.read_gate().await?;
         self.ensure(offset, len).await?;
         self.state.borrow_mut().bytes_to_client += len;
         self.sim.sleep(self.transport.wire_time(len)).await;
@@ -485,6 +517,56 @@ mod tests {
         let (sim, _store, t) = setup(DEFAULT_READ_AHEAD);
         let r = sim.block_on(async move { t.read_timed(256 << 20, 1).await });
         assert_eq!(r, Err(ImageError::OutOfBounds));
+    }
+
+    #[test]
+    fn reads_respect_fault_plan() {
+        use bolted_sim::fault::{FaultPlan, FaultSpec};
+        let (sim, _store, t) = setup(DEFAULT_READ_AHEAD);
+        let faults = Faults::new(
+            FaultPlan::seeded(4)
+                .with_target(ops::STORAGE_READ, "root", FaultSpec::flaky(1))
+                .with_target(
+                    ops::STORAGE_READ,
+                    "other",
+                    FaultSpec::none().with_spike(1.0, SimDuration::from_secs(1)),
+                ),
+        );
+        t.gateway.set_faults(&faults);
+        sim.block_on({
+            let t = t.clone();
+            async move {
+                assert_eq!(t.read_timed(0, 4096).await, Err(ImageError::Transient));
+                assert_eq!(t.read_timed(0, 4096).await, Ok(()), "flap recovered");
+            }
+        });
+        assert_eq!(faults.injected(ops::STORAGE_READ), 1);
+    }
+
+    #[test]
+    fn fault_spikes_stretch_read_time() {
+        use bolted_sim::fault::{FaultPlan, FaultSpec};
+        let elapsed = |spiked: bool| {
+            let (sim, _store, t) = setup(DEFAULT_READ_AHEAD);
+            if spiked {
+                let faults = Faults::new(FaultPlan::seeded(4).with(
+                    ops::STORAGE_READ,
+                    FaultSpec::none().with_spike(1.0, SimDuration::from_secs(1)),
+                ));
+                t.gateway.set_faults(&faults);
+            }
+            sim.block_on({
+                let t = t.clone();
+                async move { t.read_timed(0, 4096).await.expect("reads") }
+            });
+            sim.now().as_secs_f64()
+        };
+        let base = elapsed(false);
+        let slow = elapsed(true);
+        assert!(
+            (slow - base - 1.0).abs() < 1e-6,
+            "spike should add exactly 1s: {base} vs {slow}"
+        );
     }
 
     #[test]

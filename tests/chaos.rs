@@ -1,0 +1,172 @@
+//! Chaos tests: seeded fault injection across the provisioning pipeline.
+//!
+//! Three properties, per the fault model in DESIGN.md:
+//! 1. Transient BMC / switch / registrar / verifier / storage faults are
+//!    retried and provisioning still succeeds.
+//! 2. A permanently-faulted node degrades gracefully: it is released
+//!    back to the free pool and reported, without poisoning the rest of
+//!    the fleet call.
+//! 3. Everything is deterministic under a seed, and an empty fault plan
+//!    is entirely free — timings match a run with no plan at all.
+
+use bolted::core::{Cloud, CloudConfig, ProvisionError, SecurityProfile, Tenant};
+use bolted::firmware::KernelImage;
+use bolted::sim::fault::{ops, FaultPlan, FaultSpec};
+use bolted::sim::Sim;
+use bolted::storage::ImageId;
+
+fn build(nodes: usize, faults: FaultPlan) -> (Sim, Cloud, ImageId) {
+    let sim = Sim::new();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes,
+            faults,
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28-4.17.9", b"vmlinuz+initrd");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .expect("golden");
+    (sim, cloud, golden)
+}
+
+/// A plan that flaps every hardware-facing layer a bounded number of
+/// times (all recover within the default 4-attempt retry policy) and
+/// sprinkles low-probability transient storage faults on top.
+fn flaky_everything(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_target(ops::BMC_POWER, "m620-01", FaultSpec::flaky(2))
+        .with_target(ops::SWITCH_SET_VLAN, "m620-02", FaultSpec::flaky(1))
+        .with_target(ops::REGISTRAR_REGISTER, "m620-03", FaultSpec::flaky(2))
+        .with_target(ops::VERIFIER_QUOTE, "m620-04", FaultSpec::flaky(2))
+        .with(ops::STORAGE_READ, FaultSpec::transient(0.02))
+}
+
+#[test]
+fn transient_faults_are_retried_and_the_fleet_comes_up() {
+    let (sim, cloud, golden) = build(4, flaky_everything(0xC4A05));
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let nodes = cloud.nodes();
+    let report = sim.block_on({
+        let tenant = tenant.clone();
+        let nodes = nodes.clone();
+        async move {
+            tenant
+                .provision_fleet_report(&nodes, &SecurityProfile::charlie(), golden)
+                .await
+        }
+    });
+    assert_eq!(
+        report.succeeded.len(),
+        4,
+        "all nodes must recover from transient faults; failed: {:?}",
+        report
+            .failed
+            .iter()
+            .map(|f| format!("{}: {}", f.name, f.error))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.failed.is_empty());
+    assert!(
+        cloud.faults.total_injected() > 0,
+        "the plan must actually have fired"
+    );
+    // Each flapped layer was exercised.
+    assert_eq!(cloud.faults.injected(ops::BMC_POWER), 2);
+    assert_eq!(cloud.faults.injected(ops::SWITCH_SET_VLAN), 1);
+    assert_eq!(cloud.faults.injected(ops::REGISTRAR_REGISTER), 2);
+    assert_eq!(cloud.faults.injected(ops::VERIFIER_QUOTE), 2);
+}
+
+#[test]
+fn permanently_dead_bmc_degrades_gracefully() {
+    let plan = FaultPlan::seeded(7).with_target(ops::BMC_POWER, "m620-02", FaultSpec::permanent());
+    let (sim, cloud, golden) = build(4, plan);
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let nodes = cloud.nodes();
+    let report = sim.block_on({
+        let tenant = tenant.clone();
+        let nodes = nodes.clone();
+        async move {
+            tenant
+                .provision_fleet_report(&nodes, &SecurityProfile::charlie(), golden)
+                .await
+        }
+    });
+    // The three healthy nodes are unaffected.
+    assert_eq!(report.succeeded.len(), 3);
+    assert_eq!(report.failed.len(), 1);
+    let failure = &report.failed[0];
+    assert_eq!(failure.node, nodes[1]);
+    assert_eq!(failure.name, "m620-02");
+    match &failure.error {
+        ProvisionError::Exhausted { op, attempts, .. } => {
+            assert_eq!(op, "hil.power_cycle");
+            assert!(*attempts >= 2, "got {attempts} attempts");
+        }
+        other => panic!("expected Exhausted, got {other}"),
+    }
+    // Graceful degradation: the dead node went back to the free pool —
+    // it was never compromised, so it must NOT be quarantined.
+    assert_eq!(cloud.hil.free_nodes(), vec![nodes[1]]);
+    assert!(cloud.rejected_pool().is_empty());
+}
+
+#[test]
+fn chaos_runs_are_deterministic_under_a_seed() {
+    let run = || {
+        let (sim, cloud, golden) = build(4, flaky_everything(0xDE7E12));
+        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+        let nodes = cloud.nodes();
+        let report = sim.block_on({
+            let tenant = tenant.clone();
+            async move {
+                tenant
+                    .provision_fleet_report(&nodes, &SecurityProfile::charlie(), golden)
+                    .await
+            }
+        });
+        let mut names: Vec<String> = report
+            .succeeded
+            .iter()
+            .map(|p| p.report.node.clone())
+            .collect();
+        names.sort();
+        (
+            names,
+            cloud.faults.total_injected(),
+            sim.now().as_nanos(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the run exactly");
+}
+
+#[test]
+fn empty_fault_plan_is_entirely_free() {
+    // A *seeded but rule-less* plan must cost nothing: no RNG draws, no
+    // extra sleeps — provisioning timings are byte-identical to the
+    // default (no-plan) configuration.
+    let run = |faults: FaultPlan| {
+        let (sim, cloud, golden) = build(2, faults);
+        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+        let nodes = cloud.nodes();
+        let p = sim
+            .block_on({
+                let tenant = tenant.clone();
+                async move {
+                    tenant
+                        .provision(nodes[0], &SecurityProfile::charlie(), golden)
+                        .await
+                }
+            })
+            .expect("provisions");
+        assert_eq!(cloud.faults.total_injected(), 0);
+        (p.report.total().as_nanos(), sim.now().as_nanos())
+    };
+    assert_eq!(run(FaultPlan::none()), run(FaultPlan::seeded(0x5EED)));
+}
