@@ -6,6 +6,7 @@
 #![forbid(unsafe_code)]
 
 pub mod hotpath;
+pub mod phases;
 
 /// Prints a figure banner with the paper reference.
 pub fn banner(title: &str, paper_ref: &str) {

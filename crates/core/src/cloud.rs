@@ -10,7 +10,7 @@ use bolted_firmware::{FirmwareImage, FirmwareKind, FirmwareSource, Machine};
 use bolted_hil::{BmcError, BmcOps, Hil, NodeId};
 use bolted_net::{Fabric, LinkModel, SwitchId};
 use bolted_sim::fault::{ops, FaultDecision, FaultPlan, Faults};
-use bolted_sim::{Resource, Sim, Tracer};
+use bolted_sim::{Metrics, Resource, Sim, Spans, Tracer};
 use bolted_storage::{Cluster, Gateway, ImageStore};
 
 use crate::calib::Calibration;
@@ -89,6 +89,7 @@ struct MachineBmc {
     machine: Machine,
     name: String,
     faults: Faults,
+    metrics: Metrics,
 }
 
 impl MachineBmc {
@@ -96,6 +97,8 @@ impl MachineBmc {
     /// synchronous request/response, so latency spikes cannot stretch
     /// virtual time here; `Delay` degrades to `Allow`.
     fn gate(&self) -> Result<(), BmcError> {
+        self.metrics
+            .inc("bmc_power_ops", &[("target", &self.name)]);
         if self.faults.enabled()
             && self.faults.decide(ops::BMC_POWER, &self.name) == FaultDecision::Fail
         {
@@ -151,6 +154,10 @@ pub struct Cloud {
     pub http: Resource,
     /// Event trace.
     pub tracer: Tracer,
+    /// Structured span recorder (phase timings, key-material events).
+    pub spans: Spans,
+    /// Metrics registry (retry/fault counters, op counts, phase histograms).
+    pub metrics: Metrics,
     /// The installed fault-injection handle; shared by every gated layer.
     pub faults: Faults,
     machines: Rc<Vec<Machine>>,
@@ -169,9 +176,15 @@ impl Cloud {
         let gateway = Gateway::new(sim);
         let bmi = Bmi::new(sim, &store, &gateway);
         let tracer = Tracer::new();
+        let spans = Spans::new();
+        let metrics = Metrics::new();
         let faults = Faults::new(config.faults.clone());
+        faults.set_metrics(&metrics);
         fabric.set_faults(&faults);
+        fabric.set_metrics(&metrics);
         gateway.set_faults(&faults);
+        gateway.set_metrics(&metrics);
+        hil.set_metrics(&metrics);
         let flash = match config.firmware {
             FirmwareKind::LinuxBoot => linuxboot_source().build(),
             FirmwareKind::Uefi => uefi_source().build(),
@@ -198,6 +211,7 @@ impl Cloud {
                     machine: machine.clone(),
                     name: name.clone(),
                     faults: faults.clone(),
+                    metrics: metrics.clone(),
                 })),
             );
             // Provider publishes TPM identity + platform whitelist.
@@ -221,6 +235,8 @@ impl Cloud {
             airlock: Resource::new(sim, config.airlocks.max(1)),
             http: Resource::new(sim, 1),
             tracer,
+            spans,
+            metrics,
             faults,
             machines: Rc::new(machines),
             nodes: Rc::new(nodes),

@@ -21,7 +21,9 @@ use bolted_keylime::{
 };
 use bolted_net::NetError;
 use bolted_sim::fault::mix_seed;
-use bolted_sim::{join_all, retry_if, RetryError, RetryPolicy, Rng, SimDuration, SimTime};
+use bolted_sim::{
+    join_all, retry_if_observed, RetryError, RetryPolicy, Rng, SimDuration, SimTime,
+};
 use bolted_storage::{ImageError, IscsiTarget};
 
 use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
@@ -271,6 +273,7 @@ impl Tenant {
         // network as everything else.
         registrar.set_faults(&cloud.faults);
         verifier.set_faults(&cloud.faults);
+        verifier.set_observability(&cloud.spans, &cloud.metrics);
         let enclave = cloud
             .hil
             .create_network(project, format!("{project}-enclave"))?;
@@ -378,10 +381,13 @@ impl Tenant {
 
     /// Runs `op` under the tenant's retry policy, retrying only errors
     /// `transient` accepts. A non-transient error propagates unchanged;
-    /// exhaustion/timeout becomes [`ProvisionError::Exhausted`].
+    /// exhaustion/timeout becomes [`ProvisionError::Exhausted`]. Every
+    /// re-attempt bumps `retry_attempts{op,target}` in the cloud's
+    /// metrics registry (`target` is the node the op serves).
     async fn retry_infra<T, E, F, Fut, P>(
         &self,
         op_name: &str,
+        target: &str,
         rng: &mut Rng,
         op: F,
         transient: P,
@@ -393,7 +399,18 @@ impl Tenant {
         E: std::fmt::Display,
         ProvisionError: From<E>,
     {
-        match retry_if(&self.cloud.sim, &self.retry, rng, op, transient).await {
+        match retry_if_observed(
+            &self.cloud.sim,
+            &self.retry,
+            rng,
+            &self.cloud.metrics,
+            op_name,
+            target,
+            op,
+            transient,
+        )
+        .await
+        {
             Ok(v) => Ok(v),
             Err(RetryError::Fatal { error, .. }) => Err(error.into()),
             Err(e) => {
@@ -432,7 +449,7 @@ impl Tenant {
         E: std::fmt::Display,
         ProvisionError: From<E>,
     {
-        match self.retry_infra(op_name, rng, op, transient).await {
+        match self.retry_infra(op_name, name, rng, op, transient).await {
             Err(e @ ProvisionError::Exhausted { .. }) => {
                 self.abandon(node, name, lc, image);
                 Err(e)
@@ -443,6 +460,12 @@ impl Tenant {
 
     /// Provisions `node` from the `golden` image under `profile`,
     /// following Figure 1. Returns the node with its timing breakdown.
+    ///
+    /// The whole run is wrapped in a `tenant/provision` span carrying
+    /// `profile` and `outcome` attributes; per-phase child spans
+    /// (power-cycle, firmware, registrar, quote-verify, iscsi-attach,
+    /// luks-unlock) nest under it, so the paper's Figure 4 breakdown can
+    /// be reproduced from the span tree alone.
     pub async fn provision(
         &self,
         node: NodeId,
@@ -450,6 +473,46 @@ impl Tenant {
         golden: bolted_storage::ImageId,
     ) -> Result<ProvisionedNode, ProvisionError> {
         let sim = &self.cloud.sim;
+        let spans = &self.cloud.spans;
+        let name = self.cloud.hil.node_name(node)?;
+        let root = spans.begin(sim, "tenant", "provision", &name);
+        spans.attr(root, "profile", profile.name.clone());
+        let result = self.provision_impl(node, profile, golden).await;
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(ProvisionError::Rejected(_)) => "rejected",
+            Err(ProvisionError::Exhausted { .. }) => "exhausted",
+            Err(_) => "error",
+        };
+        spans.attr(root, "outcome", outcome);
+        // Closing the root pops any phase span an error path left open.
+        spans.end(sim, root);
+        self.cloud.metrics.inc(
+            "provision_outcomes",
+            &[("profile", &profile.name), ("outcome", outcome)],
+        );
+        result
+    }
+
+    /// Records one finished phase: closes its span and feeds the
+    /// `provision_phase_seconds{phase}` histogram.
+    fn end_phase(&self, span: bolted_sim::SpanId, phase: &str, since: SimTime) {
+        self.cloud.spans.end(&self.cloud.sim, span);
+        self.cloud.metrics.observe_duration(
+            "provision_phase_seconds",
+            &[("phase", phase)],
+            self.cloud.sim.now().since(since),
+        );
+    }
+
+    async fn provision_impl(
+        &self,
+        node: NodeId,
+        profile: &SecurityProfile,
+        golden: bolted_storage::ImageId,
+    ) -> Result<ProvisionedNode, ProvisionError> {
+        let sim = &self.cloud.sim;
+        let spans = &self.cloud.spans;
         let calib = &self.cloud.calib;
         let name = self.cloud.hil.node_name(node)?;
         let machine = self.cloud.machine(node);
@@ -497,6 +560,8 @@ impl Tenant {
         }
 
         // Step 2: power-cycle into (measured) firmware.
+        let phase_t0 = sim.now();
+        let phase = spans.begin(sim, "tenant", "power-cycle", &name);
         let cycle = {
             let hil = self.cloud.hil.clone();
             let project = self.project.clone();
@@ -517,7 +582,11 @@ impl Tenant {
             hil_transient,
         )
         .await?;
+        self.end_phase(phase, "power-cycle", phase_t0);
+        let phase_t0 = sim.now();
+        let phase = spans.begin(sim, "tenant", "firmware", &name);
         machine.run_firmware(sim).await?;
+        self.end_phase(phase, "firmware", phase_t0);
         timer.mark("post");
 
         // UEFI flash: chain-load the LinuxBoot runtime via measuring iPXE.
@@ -566,6 +635,8 @@ impl Tenant {
                 timer.mark("download-agent");
                 sim.sleep(calib.agent_startup).await;
                 let agent = Agent::start(sim, &name, &machine).await;
+                let phase_t0 = sim.now();
+                let phase = spans.begin(sim, "tenant", "registrar", &name);
                 // Fork a task-local RNG: RefCell borrows must never be
                 // held across an await.
                 let mut task_rng = self.rng.borrow_mut().fork();
@@ -611,6 +682,7 @@ impl Tenant {
                     )
                     .await?;
                 }
+                self.end_phase(phase, "registrar", phase_t0);
                 timer.mark("keylime-register");
                 debug_assert!(self.verify_node_identity(node, &name));
                 // Build the sealed payload and split the bootstrap key.
@@ -642,6 +714,8 @@ impl Tenant {
                     script: "verify-enclave-network && store-keys-in-initrd && kexec".into(),
                 };
                 let sealed = payload.seal(&k);
+                // Benign half of the split key: U alone reveals nothing.
+                spans.event(sim, "key", "u-share", &name);
                 agent.deliver_u(u);
                 // The tenant also whitelists its own kernel: after kexec,
                 // continuous attestation will see it in PCR 5.
@@ -727,7 +801,10 @@ impl Tenant {
                 .bmi
                 .boot_target(image, profile.storage_transport(), profile.read_ahead);
         if profile.disk_encryption {
+            let phase_t0 = sim.now();
+            let phase = spans.begin(sim, "tenant", "luks-unlock", &name);
             sim.sleep(calib.luks_unlock).await;
+            self.end_phase(phase, "luks-unlock", phase_t0);
         }
         if profile.net_encryption {
             sim.sleep(calib.ipsec_setup).await;
@@ -738,6 +815,8 @@ impl Tenant {
         // observes ("the major cost is ... the slower disk that is
         // accessed over IPsec").
         {
+            let phase_t0 = sim.now();
+            let phase = spans.begin(sim, "tenant", "iscsi-attach", &name);
             let total = calib.boot_touched_bytes;
             let req = calib.boot_io_request;
             let mut off = 0u64;
@@ -771,6 +850,7 @@ impl Tenant {
                 .await?;
                 off += len;
             }
+            self.end_phase(phase, "iscsi-attach", phase_t0);
         }
         sim.sleep(calib.kernel_boot_cpu).await;
         timer.mark("kernel-boot");
@@ -886,8 +966,14 @@ impl Tenant {
             }
         };
         // No abandon here: the node stays the caller's either way.
-        self.retry_infra("hil.power_cycle", &mut retry_rng, cycle, hil_transient)
-            .await?;
+        self.retry_infra(
+            "hil.power_cycle",
+            &pnode.report.node,
+            &mut retry_rng,
+            cycle,
+            hil_transient,
+        )
+        .await?;
         machine.run_firmware(sim).await?;
         timer.mark("post");
         // Re-fetch + measure the agent so PCR 4 replays the sealed policy.
@@ -935,9 +1021,13 @@ impl Tenant {
                         }
                     }
                 };
-                self.retry_infra("storage.read", &mut retry_rng, read, |e| {
-                    matches!(e, ImageError::Transient)
-                })
+                self.retry_infra(
+                    "storage.read",
+                    &pnode.report.node,
+                    &mut retry_rng,
+                    read,
+                    |e| matches!(e, ImageError::Transient),
+                )
                 .await?;
                 off += len;
             }

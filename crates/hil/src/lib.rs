@@ -19,6 +19,7 @@ use std::rc::Rc;
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
 use bolted_net::{Fabric, HostId, NetError, SwitchId, VlanId};
+use bolted_sim::Metrics;
 
 /// A tenant project (HIL's unit of ownership).
 pub type Project = String;
@@ -148,6 +149,9 @@ struct HilInner {
     networks: Vec<Option<Network>>,
     vlan_pool: Vec<VlanId>,
     audit: Vec<String>,
+    /// Optional registry: HIL is sim-free (minimal TCB), so it records
+    /// plain counters/gauges only — never timings.
+    metrics: Metrics,
 }
 
 /// The Hardware Isolation Layer service.
@@ -167,12 +171,36 @@ impl Hil {
                 networks: Vec::new(),
                 vlan_pool: (100..1100).rev().collect(),
                 audit: Vec::new(),
+                metrics: Metrics::disabled(),
             })),
         }
     }
 
+    /// Attaches a metrics registry; every audited operation is counted
+    /// as `hil_ops{op=..}` and the free pool is mirrored into the
+    /// `hil_free_nodes` gauge.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        self.inner.borrow_mut().metrics = metrics.clone();
+    }
+
     fn log(&self, entry: String) {
         self.inner.borrow_mut().audit.push(entry);
+    }
+
+    /// Counts one completed operation (called next to the audit log, so
+    /// counters and log always agree).
+    fn count(&self, op: &str) {
+        let metrics = self.inner.borrow().metrics.clone();
+        metrics.inc("hil_ops", &[("op", op)]);
+    }
+
+    fn update_free_gauge(&self) {
+        let inner = self.inner.borrow();
+        if !inner.metrics.is_enabled() {
+            return;
+        }
+        let free = inner.nodes.iter().filter(|n| n.owner.is_none()).count();
+        inner.metrics.set_gauge("hil_free_nodes", &[], free as f64);
     }
 
     /// The audit log (every privileged operation, in order).
@@ -209,6 +237,8 @@ impl Hil {
         });
         drop(inner);
         self.log(format!("register node {name}"));
+        self.count("register_node");
+        self.update_free_gauge();
         id
     }
 
@@ -296,6 +326,8 @@ impl Hil {
         let name = n.name.clone();
         drop(inner);
         self.log(format!("allocate {name} -> {project}"));
+        self.count("allocate_node");
+        self.update_free_gauge();
         Ok(())
     }
 
@@ -312,6 +344,8 @@ impl Hil {
         };
         self.fabric.set_port_vlan(switch, port, None)?;
         self.log(format!("free {name} (was {project})"));
+        self.count("free_node");
+        self.update_free_gauge();
         Ok(())
     }
 
@@ -333,6 +367,7 @@ impl Hil {
         }));
         drop(inner);
         self.log(format!("create network {name} ({project}, vlan {vlan})"));
+        self.count("create_network");
         Ok(id)
     }
 
@@ -351,6 +386,7 @@ impl Hil {
                 inner.vlan_pool.push(vlan);
                 drop(inner);
                 self.log(format!("delete network {name}"));
+                self.count("delete_network");
                 Ok(())
             }
             Some(_) => Err(HilError::NotOwner),
@@ -385,6 +421,7 @@ impl Hil {
         };
         self.fabric.set_port_vlan(switch, port, Some(vlan))?;
         self.log(format!("connect {name} -> vlan {vlan}"));
+        self.count("connect_node");
         Ok(())
     }
 
@@ -398,6 +435,7 @@ impl Hil {
         };
         self.fabric.set_port_vlan(switch, port, None)?;
         self.log(format!("detach {name}"));
+        self.count("detach_node");
         Ok(())
     }
 
@@ -410,6 +448,7 @@ impl Hil {
             bmc.power_cycle()?;
         }
         self.log(format!("power-cycle node {}", node.0));
+        self.count("power_cycle");
         Ok(())
     }
 
@@ -421,6 +460,7 @@ impl Hil {
             bmc.power_off()?;
         }
         self.log(format!("power-off node {}", node.0));
+        self.count("power_off");
         Ok(())
     }
 

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
 use bolted_sim::fault::{mix_seed, ops, Faults};
-use bolted_sim::{retry_if, RetryError, RetryPolicy};
+use bolted_sim::{retry_if_observed, Metrics, RetryError, RetryPolicy, SpanId, Spans};
 use bolted_sim::{channel, join_all, JoinHandle, Receiver, Rng, Sender, Sim, SimDuration, SimTime};
 use bolted_tpm::{index, PcrBank, Quote, TpmError};
 
@@ -143,6 +143,8 @@ struct PendingAttest {
     nonce: [u8; 32],
     selection: Vec<usize>,
     evidence: AttestationEvidence,
+    /// The open `quote-verify` span, closed when the verdict lands.
+    span: SpanId,
 }
 
 /// The Cloud Verifier service (tenant-deployable).
@@ -152,6 +154,8 @@ pub struct Verifier {
     registrar: Registrar,
     config: VerifierConfig,
     faults: Rc<RefCell<Faults>>,
+    spans: Rc<RefCell<Spans>>,
+    metrics: Rc<RefCell<Metrics>>,
     inner: Rc<RefCell<VerifierInner>>,
 }
 
@@ -163,6 +167,8 @@ impl Verifier {
             registrar: registrar.clone(),
             config,
             faults: Rc::new(RefCell::new(Faults::disabled())),
+            spans: Rc::new(RefCell::new(Spans::disabled())),
+            metrics: Rc::new(RefCell::new(Metrics::disabled())),
             inner: Rc::new(RefCell::new(VerifierInner {
                 nodes: HashMap::new(),
                 subscribers: Vec::new(),
@@ -176,6 +182,15 @@ impl Verifier {
     /// (existing clones of this verifier see it too).
     pub fn set_faults(&self, faults: &Faults) {
         *self.faults.borrow_mut() = faults.clone();
+    }
+
+    /// Installs span/metrics recorders (existing clones see them too).
+    /// Each attestation round records a `keylime/quote-verify` span that
+    /// closes when the verdict lands — *before* any key material moves —
+    /// plus quote retry/verdict counters.
+    pub fn set_observability(&self, spans: &Spans, metrics: &Metrics) {
+        *self.spans.borrow_mut() = spans.clone();
+        *self.metrics.borrow_mut() = metrics.clone();
     }
 
     /// The active configuration.
@@ -398,6 +413,12 @@ impl Verifier {
             (node.agent.clone(), sel)
         };
         let nonce = self.fresh_nonce();
+        let spans = self.spans.borrow().clone();
+        let metrics = self.metrics.borrow().clone();
+        // The round's quote-verify span stays open until the verdict in
+        // finish_attest, so key-material release is provably ordered
+        // after its close.
+        let span = spans.begin(&self.sim, "keylime", "quote-verify", node_id);
         // The quote round-trip [rtt → RPC → rtt] can be dropped by the
         // fault plan; dropped rounds retry with backoff. Agent *errors*
         // (the TPM refused to quote) are protocol outcomes, not network
@@ -432,9 +453,16 @@ impl Verifier {
                 Ok(ev)
             }
         };
-        let evidence = match retry_if(&self.sim, &self.config.retry, &mut retry_rng, op, |e| {
-            matches!(e, RoundError::Dropped)
-        })
+        let evidence = match retry_if_observed(
+            &self.sim,
+            &self.config.retry,
+            &mut retry_rng,
+            &metrics,
+            "verifier.quote",
+            node_id,
+            op,
+            |e| matches!(e, RoundError::Dropped),
+        )
         .await
         {
             Ok(ev) => ev,
@@ -443,6 +471,8 @@ impl Verifier {
                 ..
             }) => {
                 let reason = format!("agent error: {e}");
+                spans.attr(span, "outcome", "agent-error");
+                spans.end(&self.sim, span);
                 self.fail_node(node_id, &reason);
                 self.broadcast_revocation(node_id, &reason).await;
                 return Err(reason);
@@ -452,6 +482,8 @@ impl Verifier {
                 // failure, not evidence of compromise. No fail_node, no
                 // revocation broadcast — the caller decides what to do
                 // with an unreachable node.
+                spans.attr(span, "outcome", "rpc-fault");
+                spans.end(&self.sim, span);
                 return Err(format!(
                     "{RPC_FAULT_PREFIX}: quote round-trip failed after {} attempts",
                     e.attempts()
@@ -465,6 +497,7 @@ impl Verifier {
             nonce,
             selection,
             evidence,
+            span,
         })
     }
 
@@ -481,9 +514,20 @@ impl Verifier {
             nonce,
             selection,
             evidence,
+            span,
         } = pending;
+        let spans = self.spans.borrow().clone();
+        let metrics = self.metrics.borrow().clone();
         match self.verify_evidence_inner(&node_id, &nonce, &selection, &evidence, precomputed_sig) {
             Ok(()) => {
+                // Close the span at the verdict — strictly before any key
+                // material moves, so span ordering proves the invariant.
+                spans.attr(span, "outcome", "trusted");
+                spans.end(&self.sim, span);
+                metrics.inc(
+                    "quote_verdicts",
+                    &[("target", &node_id), ("outcome", "trusted")],
+                );
                 let deliver = {
                     let mut inner = self.inner.borrow_mut();
                     let node = inner.nodes.get_mut(&node_id).expect("checked above");
@@ -510,11 +554,22 @@ impl Verifier {
                     let approx = sealed.len() as u64 + wire;
                     let t = SimDuration::from_secs_f64(approx as f64 / self.config.payload_bps);
                     self.sim.sleep(t + self.config.rtt).await;
+                    // The guarded key-material event: V leaves the
+                    // verifier only here, after the span above closed.
+                    spans.event(&self.sim, "key", "v-release", &node_id);
+                    metrics.inc("key_releases", &[("target", &node_id)]);
                     agent.deliver_v_and_payload(v, &sealed);
                 }
                 AttestOutcome::Trusted
             }
             Err(reason) => {
+                spans.attr(span, "outcome", "failed");
+                spans.attr(span, "reason", reason.clone());
+                spans.end(&self.sim, span);
+                metrics.inc(
+                    "quote_verdicts",
+                    &[("target", &node_id), ("outcome", "failed")],
+                );
                 self.fail_node(&node_id, &reason);
                 self.broadcast_revocation(&node_id, &reason).await;
                 AttestOutcome::Failed(reason)

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use bolted_crypto::cost::CipherCost;
 use bolted_sim::fault::{ops, FaultDecision, Faults};
-use bolted_sim::{Resource, Sim, SimDuration};
+use bolted_sim::{Metrics, Resource, Sim, SimDuration};
 
 use crate::link::{LinkModel, ESP_OVERHEAD_BYTES};
 
@@ -154,6 +154,7 @@ struct FabricInner {
     tap_enabled: bool,
     violations: u64,
     faults: Faults,
+    metrics: Metrics,
 }
 
 /// The shared network fabric.
@@ -178,6 +179,7 @@ impl Fabric {
                 tap_enabled: false,
                 violations: 0,
                 faults: Faults::disabled(),
+                metrics: Metrics::disabled(),
             })),
             tx_locks: Rc::new(RefCell::new(Vec::new())),
             rx_locks: Rc::new(RefCell::new(Vec::new())),
@@ -250,6 +252,12 @@ impl Fabric {
         self.inner.borrow_mut().faults = faults.clone();
     }
 
+    /// Attaches a metrics registry; VLAN programming is counted as
+    /// `switch_vlan_sets{target=<attached host>}`.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        self.inner.borrow_mut().metrics = metrics.clone();
+    }
+
     /// Sets (or clears) the access VLAN of a switch port.
     /// This is HIL's core privileged operation.
     pub fn set_port_vlan(
@@ -259,7 +267,7 @@ impl Fabric {
         vlan: Option<VlanId>,
     ) -> Result<(), NetError> {
         let mut inner = self.inner.borrow_mut();
-        if inner.faults.enabled() {
+        if inner.faults.enabled() || inner.metrics.is_enabled() {
             // Key the fault stream by the attached host's name so chaos
             // plans can target "that node's switch port" symbolically.
             let target = inner
@@ -269,6 +277,9 @@ impl Fabric {
                 .and_then(|p| p.host)
                 .map(|h| inner.hosts[h].name.clone())
                 .unwrap_or_else(|| format!("sw{}:p{}", switch.0, port));
+            inner
+                .metrics
+                .inc("switch_vlan_sets", &[("target", &target)]);
             // Delay is meaningless for a synchronous control call; only
             // Fail is observable here.
             if inner.faults.decide(ops::SWITCH_SET_VLAN, &target) == FaultDecision::Fail {

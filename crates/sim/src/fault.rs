@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::executor::Sim;
+use crate::metrics::Metrics;
 use crate::rng::{Rng, SplitMix64};
 use crate::time::SimDuration;
 
@@ -220,6 +221,8 @@ struct FaultsInner {
     streams: HashMap<(String, String), Rng>,
     attempts: HashMap<(String, String), u64>,
     injected: HashMap<String, u64>,
+    /// Optional registry receiving `faults_injected{op,target}` counts.
+    metrics: Metrics,
 }
 
 /// A shared handle that evaluates a [`FaultPlan`] at call sites.
@@ -249,13 +252,23 @@ impl Faults {
     }
 
     /// Replaces the plan in place (all clones see it) and resets the
-    /// per-key streams, attempt counters and injection tallies.
+    /// per-key streams, attempt counters and injection tallies. An
+    /// attached metrics registry survives the reset.
     pub fn install(&self, plan: FaultPlan) {
         let mut inner = self.inner.borrow_mut();
+        let metrics = inner.metrics.clone();
         *inner = FaultsInner {
             plan,
+            metrics,
             ..FaultsInner::default()
         };
+    }
+
+    /// Attaches a metrics registry: every injected failure is counted as
+    /// `faults_injected{op=.., target=..}` in addition to the built-in
+    /// per-op tallies.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        self.inner.borrow_mut().metrics = metrics.clone();
     }
 
     /// True when any rule is installed (fast path check for sync sites
@@ -278,6 +291,9 @@ impl Faults {
         };
         if spec.permanent || attempt <= spec.fail_first as u64 {
             *inner.injected.entry(op.to_string()).or_insert(0) += 1;
+            inner
+                .metrics
+                .inc("faults_injected", &[("op", op), ("target", target)]);
             return FaultDecision::Fail;
         }
         if spec.fail_prob > 0.0 || spec.spike_prob > 0.0 {
@@ -289,6 +305,9 @@ impl Faults {
             let roll = rng.next_f64();
             if roll < spec.fail_prob {
                 *inner.injected.entry(op.to_string()).or_insert(0) += 1;
+                inner
+                    .metrics
+                    .inc("faults_injected", &[("op", op), ("target", target)]);
                 return FaultDecision::Fail;
             }
             if spec.spike_prob > 0.0 && rng.next_f64() < spec.spike_prob {
@@ -452,6 +471,24 @@ mod tests {
         assert!(!f.enabled());
         assert_eq!(f.total_injected(), 0);
         assert_eq!(f.decide(ops::BMC_POWER, "n1"), FaultDecision::Allow);
+    }
+
+    #[test]
+    fn attached_metrics_count_per_op_and_target() {
+        let f = Faults::new(FaultPlan::seeded(1).with(ops::BMC_POWER, FaultSpec::flaky(2)));
+        let m = Metrics::new();
+        f.set_metrics(&m);
+        for _ in 0..3 {
+            let _ = f.decide(ops::BMC_POWER, "n1");
+        }
+        let _ = f.decide(ops::BMC_POWER, "n2");
+        assert_eq!(m.counter("faults_injected", &[("op", ops::BMC_POWER), ("target", "n1")]), 2);
+        assert_eq!(m.counter("faults_injected", &[("op", ops::BMC_POWER), ("target", "n2")]), 1);
+        assert_eq!(m.counter_total("faults_injected"), f.total_injected());
+        // install() resets fault state but keeps the registry attached.
+        f.install(FaultPlan::seeded(2).with(ops::BMC_POWER, FaultSpec::flaky(1)));
+        let _ = f.decide(ops::BMC_POWER, "n1");
+        assert_eq!(m.counter("faults_injected", &[("op", ops::BMC_POWER), ("target", "n1")]), 3);
     }
 
     #[test]

@@ -16,8 +16,10 @@
 
 mod executor;
 pub mod fault;
+pub mod metrics;
 mod retry;
 mod rng;
+pub mod span;
 mod stats;
 mod sync;
 mod time;
@@ -25,8 +27,10 @@ mod trace;
 
 pub use executor::{join_all, JoinHandle, Sim, Sleep};
 pub use fault::{FaultDecision, FaultInjected, FaultPlan, FaultSpec, Faults};
-pub use retry::{retry, retry_if, with_timeout, RetryError, RetryPolicy};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use retry::{retry, retry_if, retry_if_observed, with_timeout, RetryError, RetryPolicy};
 pub use rng::{Rng, SplitMix64};
+pub use span::{SpanId, SpanRecord, Spans};
 pub use stats::{OnlineStats, Samples};
 pub use sync::{channel, Acquire, Event, EventWait, Permit, Receiver, Recv, Resource, Sender};
 pub use time::{SimDuration, SimTime};

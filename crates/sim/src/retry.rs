@@ -19,6 +19,7 @@ use std::pin::Pin;
 use std::task::Poll;
 
 use crate::executor::Sim;
+use crate::metrics::Metrics;
 use crate::rng::Rng;
 use crate::time::SimDuration;
 
@@ -176,8 +177,48 @@ pub async fn retry_if<T, E, F, Fut, P>(
     sim: &Sim,
     policy: &RetryPolicy,
     rng: &mut Rng,
+    op: F,
+    is_transient: P,
+) -> Result<T, RetryError<E>>
+where
+    F: FnMut() -> Fut,
+    Fut: Future<Output = Result<T, E>>,
+    P: FnMut(&E) -> bool,
+{
+    retry_if_inner(sim, policy, rng, op, is_transient, None).await
+}
+
+/// [`retry_if`] that also accounts each re-attempt into `metrics` as
+/// `retry_attempts{op=.., target=..}` — one increment per attempt
+/// *beyond the first*, stamped when the loop decides to go around again
+/// (so a happy first try leaves the counter untouched, matching the
+/// zero-cost guarantee above).
+#[allow(clippy::too_many_arguments)]
+pub async fn retry_if_observed<T, E, F, Fut, P>(
+    sim: &Sim,
+    policy: &RetryPolicy,
+    rng: &mut Rng,
+    metrics: &Metrics,
+    op_name: &str,
+    target: &str,
+    op: F,
+    is_transient: P,
+) -> Result<T, RetryError<E>>
+where
+    F: FnMut() -> Fut,
+    Fut: Future<Output = Result<T, E>>,
+    P: FnMut(&E) -> bool,
+{
+    retry_if_inner(sim, policy, rng, op, is_transient, Some((metrics, op_name, target))).await
+}
+
+async fn retry_if_inner<T, E, F, Fut, P>(
+    sim: &Sim,
+    policy: &RetryPolicy,
+    rng: &mut Rng,
     mut op: F,
     mut is_transient: P,
+    obs: Option<(&Metrics, &str, &str)>,
 ) -> Result<T, RetryError<E>>
 where
     F: FnMut() -> Fut,
@@ -213,6 +254,9 @@ where
                     return Err(RetryError::TimedOut { attempts: attempt_no });
                 }
             }
+        }
+        if let Some((metrics, op_name, target)) = obs {
+            metrics.inc("retry_attempts", &[("op", op_name), ("target", target)]);
         }
         let mut backoff = policy.backoff_for(failures);
         if policy.jitter_cv > 0.0 {
@@ -437,6 +481,61 @@ mod tests {
             }
         });
         assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn observed_retries_count_reattempts_only() {
+        let sim = Sim::new();
+        let metrics = Metrics::new();
+        let labels: &[(&str, &str)] = &[("op", "bmc.power"), ("target", "n1")];
+        // Two failures then success: exactly 2 re-attempts recorded.
+        let calls = Rc::new(Cell::new(0));
+        let op = flaky_op(&sim, &calls, 2, SimDuration::ZERO);
+        let got = sim.block_on({
+            let sim2 = sim.clone();
+            let m2 = metrics.clone();
+            async move {
+                let mut rng = Rng::seed_from_u64(1);
+                retry_if_observed(
+                    &sim2,
+                    &RetryPolicy::default(),
+                    &mut rng,
+                    &m2,
+                    "bmc.power",
+                    "n1",
+                    op,
+                    |_| true,
+                )
+                .await
+            }
+        });
+        assert_eq!(got, Ok(3));
+        assert_eq!(metrics.counter("retry_attempts", labels), 2);
+
+        // First-try success leaves the counter untouched.
+        let calls = Rc::new(Cell::new(0));
+        let op = flaky_op(&sim, &calls, 0, SimDuration::ZERO);
+        let got = sim.block_on({
+            let sim2 = sim.clone();
+            let m2 = metrics.clone();
+            async move {
+                let mut rng = Rng::seed_from_u64(1);
+                retry_if_observed(
+                    &sim2,
+                    &RetryPolicy::default(),
+                    &mut rng,
+                    &m2,
+                    "bmc.power",
+                    "n2",
+                    op,
+                    |_| true,
+                )
+                .await
+            }
+        });
+        assert_eq!(got, Ok(1));
+        assert_eq!(metrics.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n2")]), 0);
+        assert_eq!(metrics.counter("retry_attempts", labels), 2, "n1 unchanged");
     }
 
     #[test]

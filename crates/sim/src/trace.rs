@@ -17,7 +17,11 @@ pub struct TraceEvent {
     /// Virtual time at which the event was recorded.
     pub time: SimTime,
     /// Subsystem category, e.g. `"hil"`, `"keylime"`, `"firmware"`.
-    pub category: String,
+    ///
+    /// Interned: call sites pass string literals, so recording an event
+    /// stores the `&'static str` directly instead of allocating a fresh
+    /// `String` per event.
+    pub category: &'static str,
     /// Human-readable description.
     pub message: String,
 }
@@ -55,14 +59,19 @@ impl Tracer {
     }
 
     /// Records an event at the simulation's current time.
-    pub fn record(&self, sim: &Sim, category: &str, message: impl Into<String>) {
+    ///
+    /// When the tracer is disabled this returns before touching
+    /// `message`, so a lazily-built `impl Into<String>` argument that is
+    /// already a `String` is the only allocation a caller can pay — and
+    /// passing `&str` costs nothing at all on the disabled path.
+    pub fn record(&self, sim: &Sim, category: &'static str, message: impl Into<String>) {
         let mut inner = self.inner.borrow_mut();
         if !inner.enabled {
             return;
         }
         let ev = TraceEvent {
             time: sim.now(),
-            category: category.to_string(),
+            category,
             message: message.into(),
         };
         if inner.echo {
@@ -155,6 +164,31 @@ mod tests {
         let tr = Tracer::disabled();
         tr.record(&sim, "x", "dropped");
         assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_never_converts_the_message() {
+        // Regression for the per-event category String: categories are
+        // now interned `&'static str`, and the disabled path must bail
+        // out before converting (= allocating) the message. A message
+        // type whose conversion panics proves the conversion never runs.
+        struct Exploding;
+        impl From<Exploding> for String {
+            fn from(_: Exploding) -> String {
+                panic!("disabled tracer must not materialise messages");
+            }
+        }
+        let sim = Sim::new();
+        let tr = Tracer::disabled();
+        tr.record(&sim, "x", Exploding);
+        assert!(tr.is_empty());
+
+        // And an enabled tracer stores the interned category without
+        // copying it: the pointer is the literal's.
+        let on = Tracer::new();
+        static CAT: &str = "hil";
+        on.record(&sim, CAT, "event");
+        assert!(std::ptr::eq(on.events()[0].category, CAT));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use bolted_crypto::cost::CipherCost;
 use bolted_sim::fault::{ops, Faults};
-use bolted_sim::{JoinHandle, Resource, Sim, SimDuration};
+use bolted_sim::{JoinHandle, Metrics, Resource, Sim, SimDuration};
 
 use crate::cluster::ImageId;
 use crate::image::{ImageError, ImageStore};
@@ -45,6 +45,8 @@ pub struct Gateway {
     /// indirection so a handle installed after targets were opened (and
     /// the gateway cloned into them) is still seen by all of them.
     faults: Rc<RefCell<Faults>>,
+    /// Metrics registry (same double indirection as `faults`).
+    metrics: Rc<RefCell<Metrics>>,
 }
 
 impl Gateway {
@@ -60,6 +62,7 @@ impl Gateway {
             service: Resource::new(sim, 1),
             bandwidth_bps,
             faults: Rc::new(RefCell::new(Faults::disabled())),
+            metrics: Rc::new(RefCell::new(Metrics::disabled())),
         }
     }
 
@@ -70,8 +73,19 @@ impl Gateway {
         *self.faults.borrow_mut() = faults.clone();
     }
 
+    /// Attaches a metrics registry; reads through any target opened from
+    /// this gateway count `storage_read_ops`/`storage_read_bytes` per
+    /// image.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        *self.metrics.borrow_mut() = metrics.clone();
+    }
+
     fn faults(&self) -> Faults {
         self.faults.borrow().clone()
+    }
+
+    fn metrics(&self) -> Metrics {
+        self.metrics.borrow().clone()
     }
 
     async fn charge(&self, bytes: u64) {
@@ -325,11 +339,19 @@ impl IscsiTarget {
             .map_err(|_| ImageError::Transient)
     }
 
+    /// Accounts one successful client read against this target's image.
+    fn count_read(&self, len: u64) {
+        let metrics = self.gateway.metrics();
+        metrics.inc("storage_read_ops", &[("target", &self.fault_key)]);
+        metrics.add("storage_read_bytes", &[("target", &self.fault_key)], len);
+    }
+
     /// Reads `len` bytes at `offset` with timing, returning the data.
     pub async fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, ImageError> {
         self.read_gate().await?;
         self.ensure(offset, len as u64).await?;
         self.state.borrow_mut().bytes_to_client += len as u64;
+        self.count_read(len as u64);
         self.sim.sleep(self.transport.wire_time(len as u64)).await;
         self.store.read_at(self.image, offset, len, false).await
     }
@@ -339,6 +361,7 @@ impl IscsiTarget {
         self.read_gate().await?;
         self.ensure(offset, len).await?;
         self.state.borrow_mut().bytes_to_client += len;
+        self.count_read(len);
         self.sim.sleep(self.transport.wire_time(len)).await;
         Ok(())
     }

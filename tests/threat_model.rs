@@ -329,3 +329,80 @@ fn quote_replay_across_nodes_fails() {
         "{err}"
     );
 }
+
+// -- key-release ordering (span-driven) --------------------------------------
+
+#[test]
+fn v_share_only_leaves_the_verifier_after_quote_verification_closes() {
+    // The bootstrap key's V share is what actually unlocks the tenant
+    // payload (LUKS passphrase, IPsec PSK). The span layer totally
+    // orders every boundary it records, so the threat-model claim
+    // "no key material moves before the quote verdict" is checkable
+    // structurally: the `v-release` event's sequence number must be
+    // strictly greater than the close of the `quote-verify` span.
+    let (sim, cloud, golden) = build(1);
+    let node = cloud.nodes()[0];
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+        }
+    })
+    .expect("provisions");
+
+    let qv = cloud
+        .spans
+        .find("quote-verify", "m620-01")
+        .expect("quote-verify span");
+    assert_eq!(qv.attr("outcome"), Some("trusted"));
+    let qv_closed = qv.end_seq.expect("verdict landed");
+    let v = cloud
+        .spans
+        .find("v-release", "m620-01")
+        .expect("v-release event");
+    assert!(
+        v.seq > qv_closed,
+        "V share released (seq {}) before quote verification closed (seq {qv_closed})",
+        v.seq
+    );
+    // The U share alone reveals nothing (one-time-pad split), so it is
+    // allowed — and needed — *before* attestation: it ships with the
+    // sealed payload the agent holds while waiting for the verdict.
+    let u = cloud
+        .spans
+        .find("u-share", "m620-01")
+        .expect("u-share event");
+    assert!(u.seq < qv.seq, "U ships before the quote round starts");
+}
+
+#[test]
+fn rejected_node_never_sees_a_v_release_event() {
+    let (sim, cloud, golden) = build(1);
+    let node = cloud.nodes()[0];
+    let m = cloud.machine(node);
+    m.reflash(m.flash().tampered(b"bootkit"));
+    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let r = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            tenant
+                .provision(node, &SecurityProfile::charlie(), golden)
+                .await
+        }
+    });
+    assert!(is_rejected(r));
+    let qv = cloud
+        .spans
+        .find("quote-verify", "m620-01")
+        .expect("quote-verify span");
+    assert_eq!(qv.attr("outcome"), Some("failed"));
+    assert!(
+        cloud.spans.find("v-release", "m620-01").is_none(),
+        "no key material may move to a rejected node"
+    );
+    let root = cloud.spans.find("provision", "m620-01").expect("root");
+    assert_eq!(root.attr("outcome"), Some("rejected"));
+}
