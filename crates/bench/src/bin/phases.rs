@@ -29,7 +29,11 @@ fn main() {
         .collect();
     print_table(&["phase", "seconds", "% of total"], &rows);
     let accounted: f64 = bd.phases.iter().map(|(_, s)| s).sum();
-    println!("total {:.2}s ({:.1}% accounted by the six phases;", bd.total_seconds, accounted / bd.total_seconds * 100.0);
+    println!(
+        "total {:.2}s ({:.1}% accounted by the six phases;",
+        bd.total_seconds,
+        accounted / bd.total_seconds * 100.0
+    );
     println!("the rest is downloads, airlock dwell and kernel-boot CPU)");
 
     let json = bd.to_json();

@@ -248,7 +248,7 @@ fn sector_xor_per_block(key: &Key, nonce: &[u8; NONCE_LEN], buf: &mut [u8]) {
 /// Runs every hot-path benchmark. `quick` trades precision for speed so
 /// the suite can run inside `cargo test`.
 pub fn run(quick: bool) -> Vec<Record> {
-    let mut rng = XorShiftSource::new(0xB017_ED);
+    let mut rng = XorShiftSource::new(0xB017ED);
     let mut records = Vec::new();
 
     // --- modular exponentiation, RSA-2048 shapes --------------------
@@ -257,7 +257,11 @@ pub fn run(quick: bool) -> Vec<Record> {
     let e = BigUint::from_u64(65537);
     let d = random_biguint(256, &mut rng); // full-size private-shaped exponent
     let ctx = Montgomery::new(&m).expect("odd modulus");
-    assert_eq!(ctx.pow(&base, &e), base.modpow(&e, &m), "verify cross-check");
+    assert_eq!(
+        ctx.pow(&base, &e),
+        base.modpow(&e, &m),
+        "verify cross-check"
+    );
 
     // The optimised side gets more iterations per round so both batches
     // cover a similar stretch of wall clock within each round.

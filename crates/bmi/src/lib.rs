@@ -46,7 +46,14 @@ impl std::fmt::Display for BmiError {
     }
 }
 
-impl std::error::Error for BmiError {}
+impl std::error::Error for BmiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BmiError::Image(e) => Some(e),
+            BmiError::NoBootInfo => None,
+        }
+    }
+}
 
 impl From<ImageError> for BmiError {
     fn from(e: ImageError) -> Self {

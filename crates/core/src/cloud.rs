@@ -9,8 +9,8 @@ use bolted_crypto::sha256::{sha256, Digest};
 use bolted_firmware::{FirmwareImage, FirmwareKind, FirmwareSource, Machine};
 use bolted_hil::{BmcError, BmcOps, Hil, NodeId};
 use bolted_net::{Fabric, LinkModel, SwitchId};
-use bolted_sim::fault::{ops, FaultDecision, FaultPlan, Faults};
-use bolted_sim::{Metrics, Resource, Sim, Spans, Tracer};
+use bolted_sim::fault::{ops, FaultPlan, Faults};
+use bolted_sim::{Metrics, OpGate, Resource, Sim, Spans, Tracer};
 use bolted_storage::{Cluster, Gateway, ImageStore};
 
 use crate::calib::Calibration;
@@ -88,23 +88,16 @@ impl Default for CloudConfig {
 struct MachineBmc {
     machine: Machine,
     name: String,
-    faults: Faults,
-    metrics: Metrics,
+    gate: OpGate,
 }
 
 impl MachineBmc {
-    /// Consults the fault plan before touching the machine. IPMI is a
-    /// synchronous request/response, so latency spikes cannot stretch
-    /// virtual time here; `Delay` degrades to `Allow`.
+    /// Counts the attempt and consults the fault plan before touching
+    /// the machine, via the shared per-attempt gate discipline.
     fn gate(&self) -> Result<(), BmcError> {
-        self.metrics
-            .inc("bmc_power_ops", &[("target", &self.name)]);
-        if self.faults.enabled()
-            && self.faults.decide(ops::BMC_POWER, &self.name) == FaultDecision::Fail
-        {
-            return Err(BmcError::Unreachable);
-        }
-        Ok(())
+        self.gate
+            .tap("bmc_power_ops", ops::BMC_POWER, &self.name)
+            .map_err(|_| BmcError::Unreachable)
     }
 }
 
@@ -210,8 +203,7 @@ impl Cloud {
                 Some(Rc::new(MachineBmc {
                     machine: machine.clone(),
                     name: name.clone(),
-                    faults: faults.clone(),
-                    metrics: metrics.clone(),
+                    gate: OpGate::with(&faults, &metrics),
                 })),
             );
             // Provider publishes TPM identity + platform whitelist.

@@ -19,6 +19,7 @@ pub mod foreman;
 pub mod lifecycle;
 pub mod profile;
 pub mod provision;
+pub mod services;
 
 pub use calib::Calibration;
 pub use cloud::{
@@ -30,4 +31,8 @@ pub use lifecycle::{InvalidTransition, Lifecycle, NodeState};
 pub use profile::{AttestationMode, SecurityProfile};
 pub use provision::{
     FleetFailure, FleetReport, ProvisionError, ProvisionReport, ProvisionedNode, Tenant,
+};
+pub use services::{
+    AttestationService, BootService, IsolationService, KeylimeAttestation, LocalBoxFuture,
+    ProvisioningService, Services, TenantEnv,
 };

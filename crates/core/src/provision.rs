@@ -3,7 +3,13 @@
 //!
 //! The different Bolted components never talk to each other directly —
 //! exactly as in the paper, everything is driven from here, and a tenant
-//! can swap any piece out.
+//! can swap any piece out. This file enforces that boundary in the type
+//! system: the orchestrator holds a [`Services`] bundle of object-safe
+//! traits (isolation, attestation, provisioning, boot) plus a
+//! [`TenantEnv`] of ambient context, and never reaches into backend
+//! internals. Provisioning itself is a declarative [`PIPELINE`] of
+//! phases; faults, retries, spans and counters all flow through the one
+//! instrumented call envelope in `bolted_sim::call`.
 
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -13,22 +19,21 @@ use std::rc::Rc;
 use bolted_bmi::BmiError;
 use bolted_crypto::chacha20::Key;
 use bolted_crypto::sha256::Digest;
-use bolted_firmware::{FirmwareKind, Machine, MachineError};
+use bolted_firmware::{FirmwareKind, KernelImage, Machine, MachineError};
 use bolted_hil::{HilError, NetworkId, NodeId};
 use bolted_keylime::{
-    agent_binary_digest, split_key, Agent, AttestOutcome, ImaWhitelist, RegisterError, Registrar,
-    TenantPayload, Verifier, VerifierConfig, RPC_FAULT_PREFIX,
+    agent_binary_digest, split_key, Agent, AttestOutcome, ImaWhitelist, RegisterError,
+    TenantPayload, Verifier, VerifierConfig,
 };
 use bolted_net::NetError;
 use bolted_sim::fault::mix_seed;
-use bolted_sim::{
-    join_all, retry_if_observed, RetryError, RetryPolicy, Rng, SimDuration, SimTime,
-};
-use bolted_storage::{ImageError, IscsiTarget};
+use bolted_sim::{join_all, RetryError, RetryPolicy, Rng, SimDuration, SimTime};
+use bolted_storage::{ImageError, ImageId, IscsiTarget};
 
 use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
 use crate::lifecycle::{InvalidTransition, Lifecycle, NodeState};
 use crate::profile::{AttestationMode, SecurityProfile};
+use crate::services::{KeylimeAttestation, LocalBoxFuture, Services, TenantEnv};
 
 /// Errors from provisioning.
 #[derive(Debug)]
@@ -69,13 +74,29 @@ impl std::fmt::Display for ProvisionError {
             ProvisionError::Rejected(r) => write!(f, "attestation rejected: {r}"),
             ProvisionError::IllegalTransition(t) => write!(f, "life-cycle violation: {t}"),
             ProvisionError::Exhausted { op, attempts, last } => {
-                write!(f, "retries exhausted after {attempts} attempts at {op}: {last}")
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts at {op}: {last}"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for ProvisionError {}
+impl std::error::Error for ProvisionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProvisionError::Hil(e) => Some(e),
+            ProvisionError::Bmi(e) => Some(e),
+            ProvisionError::Machine(e) => Some(e),
+            ProvisionError::Storage(e) => Some(e),
+            ProvisionError::IllegalTransition(t) => Some(t),
+            // These two summarise a decision, not a wrapped failure: the
+            // underlying cause (if any) is already flattened into text.
+            ProvisionError::Rejected(_) | ProvisionError::Exhausted { .. } => None,
+        }
+    }
+}
 
 impl From<HilError> for ProvisionError {
     fn from(e: HilError) -> Self {
@@ -226,13 +247,140 @@ pub struct ProvisionedNode {
     /// The node's root-disk session.
     pub target: IscsiTarget,
     /// The node's root volume.
-    pub image: bolted_storage::ImageId,
+    pub image: ImageId,
     /// Timing breakdown.
     pub report: ProvisionReport,
     /// Life-cycle trace.
     pub lifecycle: Lifecycle,
     /// Enclave IPsec PSK (empty when unencrypted).
     pub psk: Vec<u8>,
+}
+
+/// The mutable state one provisioning run threads through the
+/// [`PIPELINE`]. Early phases fill the `Option` fields; later phases
+/// consume them (a `None` where a value is expected is a pipeline
+/// ordering bug and panics).
+struct Ctx {
+    node: NodeId,
+    profile: SecurityProfile,
+    golden: ImageId,
+    name: String,
+    machine: Machine,
+    lc: Lifecycle,
+    timer: PhaseTimer,
+    /// Per-node jitter stream for retry backoff, seeded independently
+    /// of the tenant RNG: the fault-free path draws from neither, so
+    /// an empty fault plan reproduces timings exactly.
+    retry_rng: Rng,
+    image: Option<ImageId>,
+    kernel: Option<KernelImage>,
+    cmdline: String,
+    agent: Option<Agent>,
+    psk: Vec<u8>,
+    target: Option<IscsiTarget>,
+}
+
+/// One Figure-1 step as data: its name, the span the driver wraps it in
+/// (feeding the Figure-4 `provision_phase_seconds` histogram), and the
+/// service calls it makes.
+struct PhaseDef {
+    #[allow(dead_code)] // documents the table; spans carry the runtime name
+    name: &'static str,
+    span: Option<&'static str>,
+    run: for<'a> fn(&'a Tenant, &'a mut Ctx) -> LocalBoxFuture<'a, Result<(), ProvisionError>>,
+}
+
+/// Figure 1's provisioning steps, in order. The driver in
+/// `provision_impl` walks this table; each entry only speaks to the
+/// four service traits. Phases whose spans are conditional (registrar,
+/// luks-unlock, iscsi-attach) open them inside their body.
+const PIPELINE: &[PhaseDef] = &[
+    PhaseDef {
+        name: "allocate",
+        span: None,
+        run: run_allocate,
+    },
+    PhaseDef {
+        name: "power-cycle",
+        span: Some("power-cycle"),
+        run: run_power_cycle,
+    },
+    PhaseDef {
+        name: "firmware",
+        span: Some("firmware"),
+        run: run_firmware,
+    },
+    PhaseDef {
+        name: "chain-load",
+        span: None,
+        run: run_chain_load,
+    },
+    PhaseDef {
+        name: "image-clone",
+        span: None,
+        run: run_image_clone,
+    },
+    PhaseDef {
+        name: "attestation",
+        span: None,
+        run: run_attestation,
+    },
+    PhaseDef {
+        name: "enclave-join",
+        span: None,
+        run: run_enclave_join,
+    },
+    PhaseDef {
+        name: "boot",
+        span: None,
+        run: run_boot,
+    },
+];
+
+fn run_allocate<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_allocate(cx))
+}
+fn run_power_cycle<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_power_cycle(cx))
+}
+fn run_firmware<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_firmware(cx))
+}
+fn run_chain_load<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_chain_load(cx))
+}
+fn run_image_clone<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_image_clone(cx))
+}
+fn run_attestation<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_attestation(cx))
+}
+fn run_enclave_join<'a>(
+    t: &'a Tenant,
+    cx: &'a mut Ctx,
+) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_enclave_join(cx))
+}
+fn run_boot<'a>(t: &'a Tenant, cx: &'a mut Ctx) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+    Box::pin(t.phase_boot(cx))
 }
 
 /// A tenant session: project, enclave networks, attestation services.
@@ -244,8 +392,8 @@ pub struct ProvisionedNode {
 pub struct Tenant {
     /// Project name (HIL ownership unit).
     pub project: String,
-    cloud: Cloud,
-    registrar: Registrar,
+    env: TenantEnv,
+    services: Services,
     /// The attestation verifier (exposed for continuous attestation).
     pub verifier: Verifier,
     enclave: NetworkId,
@@ -267,23 +415,35 @@ impl Tenant {
         project: &str,
         config: VerifierConfig,
     ) -> Result<Tenant, ProvisionError> {
-        let registrar = Registrar::new();
-        let verifier = Verifier::new(&cloud.sim, &registrar, config);
         // The tenant's Keylime services run over the same (faultable)
         // network as everything else.
-        registrar.set_faults(&cloud.faults);
-        verifier.set_faults(&cloud.faults);
-        verifier.set_observability(&cloud.spans, &cloud.metrics);
-        let enclave = cloud
-            .hil
+        let attestation = KeylimeAttestation::new(cloud, config);
+        let verifier = attestation.verifier().clone();
+        let services = Services::of_cloud(cloud, Rc::new(attestation));
+        let env = TenantEnv::of_cloud(cloud);
+        Self::with_backend(project, env, services, verifier)
+    }
+
+    /// Creates a tenant session over an arbitrary backend. This is how
+    /// a real-hardware deployment (or a test mock) plugs in: implement
+    /// the four service traits, bundle them, and the orchestration is
+    /// unchanged.
+    pub fn with_backend(
+        project: &str,
+        env: TenantEnv,
+        services: Services,
+        verifier: Verifier,
+    ) -> Result<Tenant, ProvisionError> {
+        let enclave = services
+            .isolation
             .create_network(project, format!("{project}-enclave"))?;
-        let airlock_net = cloud
-            .hil
+        let airlock_net = services
+            .isolation
             .create_network(project, format!("{project}-airlock"))?;
         Ok(Tenant {
             project: project.to_string(),
-            cloud: cloud.clone(),
-            registrar,
+            env,
+            services,
             verifier,
             enclave,
             airlock_net,
@@ -306,9 +466,9 @@ impl Tenant {
         self.enclave
     }
 
-    /// The simulation this tenant's cloud runs on.
+    /// The simulation this tenant's backend runs on.
     pub fn sim(&self) -> bolted_sim::Sim {
-        self.cloud.sim.clone()
+        self.env.sim().clone()
     }
 
     /// Sets the IMA whitelist used for nodes provisioned from now on.
@@ -322,8 +482,13 @@ impl Tenant {
     /// and the Keylime agent binary.
     pub fn boot_whitelist(&self, node: NodeId) -> HashSet<Digest> {
         let mut wl = HashSet::new();
-        wl.insert(self.cloud.good_firmware(FirmwareKind::LinuxBoot).build_id);
-        if let Ok(md) = self.cloud.hil.node_metadata(node) {
+        wl.insert(
+            self.services
+                .boot
+                .good_firmware(FirmwareKind::LinuxBoot)
+                .build_id,
+        );
+        if let Ok(md) = self.services.isolation.node_metadata(node) {
             for d in md.platform_whitelist {
                 wl.insert(d);
             }
@@ -339,13 +504,13 @@ impl Tenant {
     /// able to confirm that the server she received is indeed the one
     /// she reserved").
     pub fn verify_node_identity(&self, node: NodeId, agent_id: &str) -> bool {
-        let Ok(md) = self.cloud.hil.node_metadata(node) else {
+        let Ok(md) = self.services.isolation.node_metadata(node) else {
             return false;
         };
         let Some(published) = md.ek_pub else {
             return false;
         };
-        let Some(registered) = self.registrar.registered_ek(agent_id) else {
+        let Some(registered) = self.services.attestation.registered_ek(agent_id) else {
             return false;
         };
         published.fingerprint() == registered.fingerprint()
@@ -357,22 +522,16 @@ impl Tenant {
     /// to the free pool — not quarantine — and the cloned volume is
     /// deleted. Every step is advisory: whatever state was never reached
     /// is skipped.
-    fn abandon(
-        &self,
-        node: NodeId,
-        name: &str,
-        lc: &mut Lifecycle,
-        image: Option<bolted_storage::ImageId>,
-    ) {
-        let sim = &self.cloud.sim;
-        self.verifier.stop(name);
+    fn abandon(&self, node: NodeId, name: &str, lc: &mut Lifecycle, image: Option<ImageId>) {
+        let sim = self.env.sim();
+        self.services.attestation.stop(name);
         let _ = lc.transition(sim, NodeState::Free);
-        let _ = self.cloud.hil.detach_node(&self.project, node);
-        let _ = self.cloud.hil.free_node(&self.project, node);
+        let _ = self.services.isolation.detach_node(&self.project, node);
+        let _ = self.services.isolation.free_node(&self.project, node);
         if let Some(image) = image {
-            let _ = self.cloud.bmi.release(image, false);
+            let _ = self.services.provisioning.release(image, false);
         }
-        self.cloud.tracer.record(
+        self.env.tracer.record(
             sim,
             "tenant",
             format!("{name} ABANDONED (infrastructure fault)"),
@@ -382,8 +541,8 @@ impl Tenant {
     /// Runs `op` under the tenant's retry policy, retrying only errors
     /// `transient` accepts. A non-transient error propagates unchanged;
     /// exhaustion/timeout becomes [`ProvisionError::Exhausted`]. Every
-    /// re-attempt bumps `retry_attempts{op,target}` in the cloud's
-    /// metrics registry (`target` is the node the op serves).
+    /// re-attempt bumps `retry_attempts{op,target}` via the call
+    /// envelope (`target` is the node the op serves).
     async fn retry_infra<T, E, F, Fut, P>(
         &self,
         op_name: &str,
@@ -399,17 +558,11 @@ impl Tenant {
         E: std::fmt::Display,
         ProvisionError: From<E>,
     {
-        match retry_if_observed(
-            &self.cloud.sim,
-            &self.retry,
-            rng,
-            &self.cloud.metrics,
-            op_name,
-            target,
-            op,
-            transient,
-        )
-        .await
+        match self
+            .env
+            .call
+            .call(&self.retry, rng, op_name, target, op, transient)
+            .await
         {
             Ok(v) => Ok(v),
             Err(RetryError::Fatal { error, .. }) => Err(error.into()),
@@ -438,7 +591,7 @@ impl Tenant {
         node: NodeId,
         name: &str,
         lc: &mut Lifecycle,
-        image: Option<bolted_storage::ImageId>,
+        image: Option<ImageId>,
         op: F,
         transient: P,
     ) -> Result<T, ProvisionError>
@@ -470,11 +623,11 @@ impl Tenant {
         &self,
         node: NodeId,
         profile: &SecurityProfile,
-        golden: bolted_storage::ImageId,
+        golden: ImageId,
     ) -> Result<ProvisionedNode, ProvisionError> {
-        let sim = &self.cloud.sim;
-        let spans = &self.cloud.spans;
-        let name = self.cloud.hil.node_name(node)?;
+        let sim = self.env.sim();
+        let spans = self.env.call.spans();
+        let name = self.services.isolation.node_name(node)?;
         let root = spans.begin(sim, "tenant", "provision", &name);
         spans.attr(root, "profile", profile.name.clone());
         let result = self.provision_impl(node, profile, golden).await;
@@ -487,162 +640,234 @@ impl Tenant {
         spans.attr(root, "outcome", outcome);
         // Closing the root pops any phase span an error path left open.
         spans.end(sim, root);
-        self.cloud.metrics.inc(
+        self.env.call.metrics().inc(
             "provision_outcomes",
             &[("profile", &profile.name), ("outcome", outcome)],
         );
         result
     }
 
-    /// Records one finished phase: closes its span and feeds the
-    /// `provision_phase_seconds{phase}` histogram.
-    fn end_phase(&self, span: bolted_sim::SpanId, phase: &str, since: SimTime) {
-        self.cloud.spans.end(&self.cloud.sim, span);
-        self.cloud.metrics.observe_duration(
-            "provision_phase_seconds",
-            &[("phase", phase)],
-            self.cloud.sim.now().since(since),
-        );
-    }
-
+    /// Walks the [`PIPELINE`]: each phase runs against the service
+    /// traits; the driver owns span open/close (a failing phase leaves
+    /// its span open for the root close to pop — the error path is
+    /// visible in the trace).
     async fn provision_impl(
         &self,
         node: NodeId,
         profile: &SecurityProfile,
-        golden: bolted_storage::ImageId,
+        golden: ImageId,
     ) -> Result<ProvisionedNode, ProvisionError> {
-        let sim = &self.cloud.sim;
-        let spans = &self.cloud.spans;
-        let calib = &self.cloud.calib;
-        let name = self.cloud.hil.node_name(node)?;
-        let machine = self.cloud.machine(node);
-        let mut lc = Lifecycle::new(sim);
-        let mut timer = PhaseTimer::new(sim);
+        let sim = self.env.sim().clone();
+        let name = self.services.isolation.node_name(node)?;
+        let machine = self.services.boot.machine(node);
+        let mut cx = Ctx {
+            node,
+            profile: profile.clone(),
+            golden,
+            name: name.clone(),
+            machine,
+            lc: Lifecycle::new(&sim),
+            timer: PhaseTimer::new(&sim),
+            retry_rng: Rng::seed_from_u64(mix_seed(0x52E7_8A11, &["provision", &name])),
+            image: None,
+            kernel: None,
+            cmdline: String::new(),
+            agent: None,
+            psk: Vec::new(),
+            target: None,
+        };
         let started = sim.now();
-        self.cloud.tracer.record(
-            sim,
+        self.env.tracer.record(
+            &sim,
             "tenant",
             format!("provision {name} [{}]", profile.name),
         );
 
-        // Per-node jitter stream for retry backoff, seeded independently
-        // of the tenant RNG: the fault-free path draws from neither, so
-        // an empty fault plan reproduces timings exactly.
-        let mut retry_rng = Rng::seed_from_u64(mix_seed(0x52E7_8A11, &["provision", &name]));
+        for def in PIPELINE {
+            match def.span {
+                Some(span) => {
+                    let handle = self.env.call.open_phase("tenant", span, &cx.name);
+                    (def.run)(self, &mut cx).await?;
+                    self.env
+                        .call
+                        .close_phase(handle, "provision_phase_seconds", span);
+                }
+                None => (def.run)(self, &mut cx).await?,
+            }
+        }
 
-        // Step 1: allocate, and for attested flows enter the airlock
-        // network. (The serialising airlock *slot* is taken later, for
-        // the attestation window only.)
-        self.cloud.hil.allocate_node(&self.project, node)?;
-        if profile.attested() {
-            lc.transition(sim, NodeState::Airlock)?;
+        let finished = sim.now();
+        self.env.tracer.record(
+            &sim,
+            "tenant",
+            format!("{name} provisioned in {}", finished.since(started)),
+        );
+        Ok(ProvisionedNode {
+            node,
+            machine: cx.machine,
+            agent: cx.agent,
+            target: cx.target.expect("boot phase sets the iSCSI target"),
+            image: cx.image.expect("image-clone phase sets the image"),
+            report: ProvisionReport {
+                node: cx.name,
+                profile: profile.name.clone(),
+                phases: cx.timer.phases,
+                started,
+                finished,
+            },
+            lifecycle: cx.lc,
+            psk: cx.psk,
+        })
+    }
+
+    /// Step 1: allocate, and for attested flows enter the airlock
+    /// network. (The serialising airlock *slot* is taken later, for
+    /// the attestation window only.)
+    async fn phase_allocate(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        let sim = self.env.sim().clone();
+        self.services
+            .isolation
+            .allocate_node(&self.project, cx.node)?;
+        if cx.profile.attested() {
+            cx.lc.transition(&sim, NodeState::Airlock)?;
             let connect = {
-                let hil = self.cloud.hil.clone();
+                let isolation = self.services.isolation.clone();
                 let project = self.project.clone();
                 let net = self.airlock_net;
+                let node = cx.node;
                 move || {
-                    let hil = hil.clone();
+                    let isolation = isolation.clone();
                     let project = project.clone();
-                    async move { hil.connect_node(&project, node, net) }
+                    async move { isolation.connect_node(&project, node, net) }
                 }
             };
             self.retry_or_abandon(
                 "hil.connect_node",
-                &mut retry_rng,
-                node,
-                &name,
-                &mut lc,
+                &mut cx.retry_rng,
+                cx.node,
+                &cx.name,
+                &mut cx.lc,
                 None,
                 connect,
                 hil_transient,
             )
             .await?;
         }
+        Ok(())
+    }
 
-        // Step 2: power-cycle into (measured) firmware.
-        let phase_t0 = sim.now();
-        let phase = spans.begin(sim, "tenant", "power-cycle", &name);
+    /// Step 2a: power-cycle via the BMC.
+    async fn phase_power_cycle(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
         let cycle = {
-            let hil = self.cloud.hil.clone();
+            let isolation = self.services.isolation.clone();
             let project = self.project.clone();
+            let node = cx.node;
             move || {
-                let hil = hil.clone();
+                let isolation = isolation.clone();
                 let project = project.clone();
-                async move { hil.power_cycle(&project, node) }
+                async move { isolation.power_cycle(&project, node) }
             }
         };
         self.retry_or_abandon(
             "hil.power_cycle",
-            &mut retry_rng,
-            node,
-            &name,
-            &mut lc,
+            &mut cx.retry_rng,
+            cx.node,
+            &cx.name,
+            &mut cx.lc,
             None,
             cycle,
             hil_transient,
         )
-        .await?;
-        self.end_phase(phase, "power-cycle", phase_t0);
-        let phase_t0 = sim.now();
-        let phase = spans.begin(sim, "tenant", "firmware", &name);
-        machine.run_firmware(sim).await?;
-        self.end_phase(phase, "firmware", phase_t0);
-        timer.mark("post");
+        .await
+    }
 
-        // UEFI flash: chain-load the LinuxBoot runtime via measuring iPXE.
-        if machine.flash().kind == FirmwareKind::Uefi {
-            sim.sleep(calib.pxe_dhcp).await;
-            self.cloud.http.visit(calib.download(calib.ipxe_size)).await;
-            machine.measure_download("ipxe", ipxe_digest())?;
-            timer.mark("pxe-ipxe");
-            self.cloud
-                .http
-                .visit(calib.download(calib.heads_runtime_size))
-                .await;
-            machine.measure_download("heads-runtime", heads_runtime_digest())?;
-            timer.mark("download-heads");
-            sim.sleep(calib.heads_runtime_boot).await;
-            timer.mark("heads-boot");
+    /// Step 2b: run the (measured) firmware through POST.
+    async fn phase_firmware(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        self.services.boot.run_firmware(&cx.machine).await?;
+        cx.timer.mark("post");
+        Ok(())
+    }
+
+    /// UEFI flash only: chain-load the LinuxBoot runtime via measuring
+    /// iPXE.
+    async fn phase_chain_load(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        if cx.machine.flash().kind != FirmwareKind::Uefi {
+            return Ok(());
         }
+        let sim = self.env.sim().clone();
+        let calib = &self.env.calib;
+        sim.sleep(calib.pxe_dhcp).await;
+        self.env.http.visit(calib.download(calib.ipxe_size)).await;
+        self.services
+            .boot
+            .measure_download(&cx.machine, "ipxe", ipxe_digest())?;
+        cx.timer.mark("pxe-ipxe");
+        self.env
+            .http
+            .visit(calib.download(calib.heads_runtime_size))
+            .await;
+        self.services.boot.measure_download(
+            &cx.machine,
+            "heads-runtime",
+            heads_runtime_digest(),
+        )?;
+        cx.timer.mark("download-heads");
+        sim.sleep(calib.heads_runtime_boot).await;
+        cx.timer.mark("heads-boot");
+        Ok(())
+    }
 
-        // Clone the root volume and extract boot info (BMI).
-        let image = self.cloud.bmi.clone_for_server(golden, &name)?;
-        let (kernel, _cmdline) = self.cloud.bmi.extract_boot_info(image)?;
+    /// Clone the root volume and extract boot info (BMI).
+    async fn phase_image_clone(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        let image = self
+            .services
+            .provisioning
+            .clone_for_server(cx.golden, &cx.name)?;
+        let (kernel, cmdline) = self.services.provisioning.extract_boot_info(image)?;
+        cx.image = Some(image);
+        cx.kernel = Some(kernel);
+        cx.cmdline = cmdline;
+        Ok(())
+    }
 
-        // Steps 3-5: attestation (or direct download for Alice).
-        let psk: Vec<u8>;
-        let agent = match profile.attestation {
+    /// Steps 3-5: attestation (or direct download for Alice).
+    async fn phase_attestation(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        let sim = self.env.sim().clone();
+        let calib = self.env.calib.clone();
+        match cx.profile.attestation {
             AttestationMode::None => {
-                psk = Vec::new();
-                self.cloud
+                cx.psk = Vec::new();
+                self.env
                     .http
                     .visit(calib.download(calib.kernel_initrd_size))
                     .await;
-                timer.mark("download-kernel");
-                None
+                cx.timer.mark("download-kernel");
+                cx.agent = None;
             }
             AttestationMode::Provider | AttestationMode::Tenant => {
+                let image = cx.image.expect("image-clone runs before attestation");
+                let kernel = cx.kernel.clone().expect("image-clone sets the kernel");
                 // The prototype supports one airlock: the attestation
                 // window (agent download through quote verification) is
                 // serialised across nodes (§7.3).
-                let airlock_permit = self.cloud.airlock.acquire().await;
-                timer.mark("airlock-wait");
-                self.cloud
-                    .http
-                    .visit(calib.download(calib.agent_size))
-                    .await;
-                machine.measure_download("keylime-agent", agent_binary_digest())?;
-                timer.mark("download-agent");
+                let airlock_permit = self.env.airlock.acquire().await;
+                cx.timer.mark("airlock-wait");
+                self.env.http.visit(calib.download(calib.agent_size)).await;
+                self.services.boot.measure_download(
+                    &cx.machine,
+                    "keylime-agent",
+                    agent_binary_digest(),
+                )?;
+                cx.timer.mark("download-agent");
                 sim.sleep(calib.agent_startup).await;
-                let agent = Agent::start(sim, &name, &machine).await;
-                let phase_t0 = sim.now();
-                let phase = spans.begin(sim, "tenant", "registrar", &name);
+                let agent = Agent::start(&sim, &cx.name, &cx.machine).await;
+                let phase = self.env.call.open_phase("tenant", "registrar", &cx.name);
                 // Fork a task-local RNG: RefCell borrows must never be
                 // held across an await.
                 let mut task_rng = self.rng.borrow_mut().fork();
                 let first_try = {
                     let mut src = SimRngSource(&mut task_rng);
-                    agent.register(sim, &self.registrar, &mut src).await
+                    self.services.attestation.register(&agent, &mut src).await
                 };
                 if let Err(e) = first_try {
                     if !e.is_transient() {
@@ -656,35 +881,35 @@ impl Tenant {
                     let retry_parent = Rc::new(RefCell::new(task_rng.fork()));
                     let reg_op = {
                         let agent = agent.clone();
-                        let registrar = self.registrar.clone();
-                        let sim = sim.clone();
+                        let attestation = self.services.attestation.clone();
                         let parent = retry_parent.clone();
                         move || {
                             let agent = agent.clone();
-                            let registrar = registrar.clone();
-                            let sim = sim.clone();
+                            let attestation = attestation.clone();
                             let mut r = parent.borrow_mut().fork();
                             async move {
                                 let mut src = SimRngSource(&mut r);
-                                agent.register(&sim, &registrar, &mut src).await
+                                attestation.register(&agent, &mut src).await
                             }
                         }
                     };
                     self.retry_or_abandon(
                         "keylime.register",
-                        &mut retry_rng,
-                        node,
-                        &name,
-                        &mut lc,
+                        &mut cx.retry_rng,
+                        cx.node,
+                        &cx.name,
+                        &mut cx.lc,
                         Some(image),
                         reg_op,
                         RegisterError::is_transient,
                     )
                     .await?;
                 }
-                self.end_phase(phase, "registrar", phase_t0);
-                timer.mark("keylime-register");
-                debug_assert!(self.verify_node_identity(node, &name));
+                self.env
+                    .call
+                    .close_phase(phase, "provision_phase_seconds", "registrar");
+                cx.timer.mark("keylime-register");
+                debug_assert!(self.verify_node_identity(cx.node, &cx.name));
                 // Build the sealed payload and split the bootstrap key.
                 let (k, u, v) = {
                     let mut kb = [0u8; 32];
@@ -694,13 +919,13 @@ impl Tenant {
                     let (u, v) = split_key(&k, &mut src);
                     (k, u, v)
                 };
-                psk = if profile.net_encryption {
+                cx.psk = if cx.profile.net_encryption {
                     format!("{}-enclave-psk", self.project).into_bytes()
                 } else {
                     Vec::new()
                 };
-                let luks_pass = if profile.disk_encryption {
-                    format!("{}-luks-{name}", self.project).into_bytes()
+                let luks_pass = if cx.profile.disk_encryption {
+                    format!("{}-luks-{}", self.project, cx.name).into_bytes()
                 } else {
                     Vec::new()
                 };
@@ -708,20 +933,23 @@ impl Tenant {
                     kernel_name: kernel.name.clone(),
                     kernel_digest: kernel.digest,
                     kernel_size: calib.kernel_initrd_size,
-                    cmdline: _cmdline.clone(),
+                    cmdline: cx.cmdline.clone(),
                     luks_passphrase: luks_pass,
-                    ipsec_psk: psk.clone(),
+                    ipsec_psk: cx.psk.clone(),
                     script: "verify-enclave-network && store-keys-in-initrd && kexec".into(),
                 };
                 let sealed = payload.seal(&k);
                 // Benign half of the split key: U alone reveals nothing.
-                spans.event(sim, "key", "u-share", &name);
+                self.env
+                    .call
+                    .spans()
+                    .event(&sim, "key", "u-share", &cx.name);
                 agent.deliver_u(u);
                 // The tenant also whitelists its own kernel: after kexec,
                 // continuous attestation will see it in PCR 5.
-                let mut boot_wl = self.boot_whitelist(node);
+                let mut boot_wl = self.boot_whitelist(cx.node);
                 boot_wl.insert(kernel.digest);
-                self.verifier.add_node(
+                self.services.attestation.enroll(
                     &agent,
                     boot_wl,
                     self.ima_whitelist.borrow().clone(),
@@ -729,32 +957,34 @@ impl Tenant {
                     sealed,
                     calib.kernel_initrd_size,
                 );
-                match self.verifier.attest_once(&name, false).await {
+                match self.services.attestation.attest_once(&cx.name, false).await {
                     AttestOutcome::Trusted => {}
-                    AttestOutcome::Failed(reason) if reason.starts_with(RPC_FAULT_PREFIX) => {
+                    AttestOutcome::Unreachable { attempts } => {
                         // The verifier could not *reach* the node even
                         // after its own retries. That is an infrastructure
                         // failure, not evidence of compromise: release the
                         // node instead of quarantining it.
-                        self.abandon(node, &name, &mut lc, Some(image));
+                        self.abandon(cx.node, &cx.name, &mut cx.lc, Some(image));
                         return Err(ProvisionError::Exhausted {
                             op: "verifier.attest".into(),
-                            attempts: self.verifier.config().retry.max_attempts,
-                            last: reason,
+                            attempts,
+                            last: format!("quote round-trip failed after {attempts} attempts"),
                         });
                     }
                     AttestOutcome::Failed(reason) => {
                         // Step 5 (failure): move to the rejected pool and
                         // clean up the cloned volume.
-                        lc.transition(sim, NodeState::Rejected)?;
-                        self.cloud.hil.detach_node(&self.project, node)?;
-                        self.cloud.hil.free_node(&self.project, node)?;
-                        self.cloud.quarantine(node);
-                        let _ = self.cloud.bmi.release(image, false);
-                        self.cloud.tracer.record(
-                            sim,
+                        cx.lc.transition(&sim, NodeState::Rejected)?;
+                        self.services
+                            .isolation
+                            .detach_node(&self.project, cx.node)?;
+                        self.services.isolation.free_node(&self.project, cx.node)?;
+                        self.services.isolation.quarantine(cx.node);
+                        let _ = self.services.provisioning.release(image, false);
+                        self.env.tracer.record(
+                            &sim,
                             "tenant",
-                            format!("{name} REJECTED: {reason}"),
+                            format!("{} REJECTED: {reason}", cx.name),
                         );
                         return Err(ProvisionError::Rejected(reason));
                     }
@@ -762,51 +992,68 @@ impl Tenant {
                 // Persist the bootstrap key sealed to this boot state so
                 // an identical warm reboot can skip the U/V dance.
                 agent.seal_bootstrap();
-                timer.mark("attest+payload");
+                cx.timer.mark("attest+payload");
                 drop(airlock_permit);
-                Some(agent)
+                cx.agent = Some(agent);
             }
-        };
+        }
+        Ok(())
+    }
 
-        // Step 4/6: leave the airlock, join the tenant enclave.
+    /// Step 4/6: leave the airlock, join the tenant enclave.
+    async fn phase_enclave_join(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        let sim = self.env.sim().clone();
+        let image = cx.image.expect("image-clone runs before enclave-join");
         let join_enclave = {
-            let hil = self.cloud.hil.clone();
+            let isolation = self.services.isolation.clone();
             let project = self.project.clone();
             let net = self.enclave;
+            let node = cx.node;
             move || {
-                let hil = hil.clone();
+                let isolation = isolation.clone();
                 let project = project.clone();
-                async move { hil.connect_node(&project, node, net) }
+                async move { isolation.connect_node(&project, node, net) }
             }
         };
         self.retry_or_abandon(
             "hil.connect_node",
-            &mut retry_rng,
-            node,
-            &name,
-            &mut lc,
+            &mut cx.retry_rng,
+            cx.node,
+            &cx.name,
+            &mut cx.lc,
             Some(image),
             join_enclave,
             hil_transient,
         )
         .await?;
-        sim.sleep(calib.network_move).await;
-        lc.transition(sim, NodeState::Allocated)?;
-        timer.mark("network-move");
+        sim.sleep(self.env.calib.network_move).await;
+        cx.lc.transition(&sim, NodeState::Allocated)?;
+        cx.timer.mark("network-move");
+        Ok(())
+    }
 
-        // kexec into the tenant kernel and boot from the network disk.
-        machine.kexec(kernel, &self.project)?;
-        let target =
-            self.cloud
-                .bmi
-                .boot_target(image, profile.storage_transport(), profile.read_ahead);
-        if profile.disk_encryption {
-            let phase_t0 = sim.now();
-            let phase = spans.begin(sim, "tenant", "luks-unlock", &name);
+    /// kexec into the tenant kernel and boot from the network disk.
+    async fn phase_boot(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
+        let sim = self.env.sim().clone();
+        let calib = self.env.calib.clone();
+        let image = cx.image.expect("image-clone runs before boot");
+        let kernel = cx.kernel.clone().expect("image-clone sets the kernel");
+        self.services
+            .boot
+            .kexec(&cx.machine, kernel, &self.project)?;
+        let target = self.services.provisioning.boot_target(
+            image,
+            cx.profile.storage_transport(),
+            cx.profile.read_ahead,
+        );
+        if cx.profile.disk_encryption {
+            let phase = self.env.call.open_phase("tenant", "luks-unlock", &cx.name);
             sim.sleep(calib.luks_unlock).await;
-            self.end_phase(phase, "luks-unlock", phase_t0);
+            self.env
+                .call
+                .close_phase(phase, "provision_phase_seconds", "luks-unlock");
         }
-        if profile.net_encryption {
+        if cx.profile.net_encryption {
             sim.sleep(calib.ipsec_setup).await;
         }
         // Boot is sequential: read a unit from the root disk, run init
@@ -815,8 +1062,7 @@ impl Tenant {
         // observes ("the major cost is ... the slower disk that is
         // accessed over IPsec").
         {
-            let phase_t0 = sim.now();
-            let phase = spans.begin(sim, "tenant", "iscsi-attach", &name);
+            let phase = self.env.call.open_phase("tenant", "iscsi-attach", &cx.name);
             let total = calib.boot_touched_bytes;
             let req = calib.boot_io_request;
             let mut off = 0u64;
@@ -839,10 +1085,10 @@ impl Tenant {
                 };
                 self.retry_or_abandon(
                     "storage.read",
-                    &mut retry_rng,
-                    node,
-                    &name,
-                    &mut lc,
+                    &mut cx.retry_rng,
+                    cx.node,
+                    &cx.name,
+                    &mut cx.lc,
                     Some(image),
                     read,
                     |e| matches!(e, ImageError::Transient),
@@ -850,33 +1096,14 @@ impl Tenant {
                 .await?;
                 off += len;
             }
-            self.end_phase(phase, "iscsi-attach", phase_t0);
+            self.env
+                .call
+                .close_phase(phase, "provision_phase_seconds", "iscsi-attach");
         }
         sim.sleep(calib.kernel_boot_cpu).await;
-        timer.mark("kernel-boot");
-
-        let finished = sim.now();
-        self.cloud.tracer.record(
-            sim,
-            "tenant",
-            format!("{name} provisioned in {}", finished.since(started)),
-        );
-        Ok(ProvisionedNode {
-            node,
-            machine,
-            agent,
-            target,
-            image,
-            report: ProvisionReport {
-                node: name,
-                profile: profile.name.clone(),
-                phases: timer.phases,
-                started,
-                finished,
-            },
-            lifecycle: lc,
-            psk,
-        })
+        cx.timer.mark("kernel-boot");
+        cx.target = Some(target);
+        Ok(())
     }
 
     /// Provisions a whole fleet concurrently: one sim task per node via
@@ -891,9 +1118,9 @@ impl Tenant {
         &self,
         nodes: &[NodeId],
         profile: &SecurityProfile,
-        golden: bolted_storage::ImageId,
+        golden: ImageId,
     ) -> Vec<Result<ProvisionedNode, ProvisionError>> {
-        let sim = self.cloud.sim.clone();
+        let sim = self.env.sim().clone();
         let handles: Vec<_> = nodes
             .iter()
             .map(|&node| {
@@ -911,7 +1138,7 @@ impl Tenant {
         &self,
         nodes: &[NodeId],
         profile: &SecurityProfile,
-        golden: bolted_storage::ImageId,
+        golden: ImageId,
     ) -> FleetReport {
         let results = self.provision_fleet(nodes, profile, golden).await;
         let mut succeeded = Vec::new();
@@ -921,7 +1148,7 @@ impl Tenant {
                 Ok(p) => succeeded.push(p),
                 Err(error) => failed.push(FleetFailure {
                     node,
-                    name: self.cloud.hil.node_name(node).unwrap_or_default(),
+                    name: self.services.isolation.node_name(node).unwrap_or_default(),
                     error,
                 }),
             }
@@ -943,26 +1170,24 @@ impl Tenant {
         pnode: &ProvisionedNode,
         profile: &SecurityProfile,
     ) -> Result<ProvisionReport, ProvisionError> {
-        let sim = &self.cloud.sim;
-        let calib = &self.cloud.calib;
+        let sim = self.env.sim().clone();
+        let calib = &self.env.calib;
         let started = sim.now();
-        let mut timer = PhaseTimer::new(sim);
+        let mut timer = PhaseTimer::new(&sim);
         let machine = &pnode.machine;
         let agent = pnode.agent.as_ref().ok_or_else(|| {
             ProvisionError::Rejected("warm restart needs an attested node".into())
         })?;
-        let mut retry_rng = Rng::seed_from_u64(mix_seed(
-            0x52E7_8A12,
-            &["warm-restart", &pnode.report.node],
-        ));
+        let mut retry_rng =
+            Rng::seed_from_u64(mix_seed(0x52E7_8A12, &["warm-restart", &pnode.report.node]));
         let cycle = {
-            let hil = self.cloud.hil.clone();
+            let isolation = self.services.isolation.clone();
             let project = self.project.clone();
             let node = pnode.node;
             move || {
-                let hil = hil.clone();
+                let isolation = isolation.clone();
                 let project = project.clone();
-                async move { hil.power_cycle(&project, node) }
+                async move { isolation.power_cycle(&project, node) }
             }
         };
         // No abandon here: the node stays the caller's either way.
@@ -974,14 +1199,13 @@ impl Tenant {
             hil_transient,
         )
         .await?;
-        machine.run_firmware(sim).await?;
+        self.services.boot.run_firmware(machine).await?;
         timer.mark("post");
         // Re-fetch + measure the agent so PCR 4 replays the sealed policy.
-        self.cloud
-            .http
-            .visit(calib.download(calib.agent_size))
-            .await;
-        machine.measure_download("keylime-agent", agent_binary_digest())?;
+        self.env.http.visit(calib.download(calib.agent_size)).await;
+        self.services
+            .boot
+            .measure_download(machine, "keylime-agent", agent_binary_digest())?;
         timer.mark("download-agent");
         // The sealed key only opens if the measured chain is identical.
         agent
@@ -991,12 +1215,12 @@ impl Tenant {
         let payload = agent
             .payload()
             .ok_or_else(|| ProvisionError::Rejected("no cached payload".into()))?;
-        let kernel = bolted_firmware::KernelImage::from_digest(
+        let kernel = KernelImage::from_digest(
             &payload.kernel_name,
             payload.kernel_digest,
             payload.kernel_size,
         );
-        machine.kexec(kernel, &self.project)?;
+        self.services.boot.kexec(machine, kernel, &self.project)?;
         if profile.disk_encryption {
             sim.sleep(calib.luks_unlock).await;
         }
@@ -1034,8 +1258,8 @@ impl Tenant {
         }
         sim.sleep(calib.kernel_boot_cpu).await;
         timer.mark("kernel-boot");
-        self.cloud.tracer.record(
-            sim,
+        self.env.tracer.record(
+            &sim,
             "tenant",
             format!(
                 "warm restart of {} in {}",
@@ -1060,15 +1284,21 @@ impl Tenant {
         mut pnode: ProvisionedNode,
         keep_volume: bool,
     ) -> Result<Lifecycle, ProvisionError> {
-        let sim = &self.cloud.sim;
+        let sim = self.env.sim();
         if let Some(agent) = &pnode.agent {
-            self.verifier.stop(agent.id());
+            self.services.attestation.stop(agent.id());
         }
-        self.cloud.hil.power_off(&self.project, pnode.node)?;
-        self.cloud.hil.free_node(&self.project, pnode.node)?;
-        self.cloud.bmi.release(pnode.image, keep_volume)?;
+        self.services
+            .isolation
+            .power_off(&self.project, pnode.node)?;
+        self.services
+            .isolation
+            .free_node(&self.project, pnode.node)?;
+        self.services
+            .provisioning
+            .release(pnode.image, keep_volume)?;
         pnode.lifecycle.transition(sim, NodeState::Free)?;
-        self.cloud.tracer.record(
+        self.env.tracer.record(
             sim,
             "tenant",
             format!("released node {}", pnode.report.node),
@@ -1336,6 +1566,26 @@ mod tests {
             cloud.fabric.path(h0, h1).is_err(),
             "different tenants' nodes must not reach each other"
         );
+    }
+
+    #[test]
+    fn provision_error_sources_chain_to_the_root_cause() {
+        use std::error::Error as _;
+        // HIL → switch: two-deep chain.
+        let e = ProvisionError::Hil(HilError::Switch(NetError::SwitchUnreachable));
+        let hil = e.source().expect("HIL source");
+        assert!(hil.to_string().contains("switch"), "{hil}");
+        let net = hil.source().expect("switch source");
+        assert!(net.source().is_none(), "chain ends at the leaf");
+        // Decisions carry no structured cause.
+        let rejected = ProvisionError::Rejected("bad quote".into());
+        assert!(rejected.source().is_none());
+        let exhausted = ProvisionError::Exhausted {
+            op: "hil.power_cycle".into(),
+            attempts: 4,
+            last: "BMC unreachable".into(),
+        };
+        assert!(exhausted.source().is_none());
     }
 }
 

@@ -1,0 +1,382 @@
+//! Service boundaries between the tenant orchestrator and the Bolted
+//! components (§4 of the paper: HIL, BMI, the attestation services and
+//! the machines themselves are *separate, replaceable services*).
+//!
+//! The traits here are the only surface `provision.rs` is allowed to
+//! touch: the orchestrator never reaches into `Cloud` internals, it
+//! speaks to four object-safe services, and `Cloud` is just the
+//! simulation-backed implementation of three of them (Keylime supplies
+//! the fourth). A deployment against real hardware would implement
+//! these same traits over IPMI, the switch management plane, Ceph and
+//! the Keylime REST API without changing a line of orchestration.
+//!
+//! All traits are single-threaded (`Rc`-based, like the rest of the
+//! simulator), so async methods return [`LocalBoxFuture`] rather than
+//! a `Send` future.
+
+use std::collections::HashSet;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bolted_bmi::BmiError;
+use bolted_crypto::prime::RandomSource;
+use bolted_crypto::rsa::PublicKey;
+use bolted_crypto::sha256::Digest;
+use bolted_firmware::{FirmwareImage, FirmwareKind, KernelImage, Machine, MachineError};
+use bolted_hil::{HilError, NetworkId, NodeId, NodeMetadata};
+use bolted_keylime::{
+    Agent, AttestOutcome, ImaWhitelist, KeyShare, RegisterError, Registrar, Verifier,
+    VerifierConfig,
+};
+use bolted_sim::{CallEnv, Resource, Sim, Tracer};
+use bolted_storage::{ImageId, IscsiTarget, Transport};
+
+use crate::calib::Calibration;
+use crate::cloud::Cloud;
+
+/// A boxed, non-`Send` future — the async-method currency of the
+/// object-safe service traits below.
+pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// The isolation service (the paper's HIL): node allocation, network
+/// attach/detach, out-of-band power control and the EK/platform
+/// metadata the provider publishes per node.
+pub trait IsolationService {
+    /// Resolves a node's stable name (e.g. `m620-03`).
+    fn node_name(&self, node: NodeId) -> Result<String, HilError>;
+    /// Provider-published metadata: TPM EK and platform whitelist.
+    fn node_metadata(&self, node: NodeId) -> Result<NodeMetadata, HilError>;
+    /// Creates an isolated tenant network (allocates a VLAN).
+    fn create_network(&self, project: &str, name: String) -> Result<NetworkId, HilError>;
+    /// Claims a free node for the project.
+    fn allocate_node(&self, project: &str, node: NodeId) -> Result<(), HilError>;
+    /// Returns a node to the free pool (scrubs its port first).
+    fn free_node(&self, project: &str, node: NodeId) -> Result<(), HilError>;
+    /// Moves the node's switch port onto a tenant network.
+    fn connect_node(&self, project: &str, node: NodeId, net: NetworkId) -> Result<(), HilError>;
+    /// Detaches the node's switch port from any tenant network.
+    fn detach_node(&self, project: &str, node: NodeId) -> Result<(), HilError>;
+    /// Power-cycles the node via its BMC.
+    fn power_cycle(&self, project: &str, node: NodeId) -> Result<(), HilError>;
+    /// Powers the node off via its BMC.
+    fn power_off(&self, project: &str, node: NodeId) -> Result<(), HilError>;
+    /// Moves a node that failed attestation into the rejected pool so
+    /// the scheduler never hands it out again.
+    fn quarantine(&self, node: NodeId);
+}
+
+/// The attestation service (the paper's Keylime registrar + cloud
+/// verifier, operated by the tenant).
+pub trait AttestationService {
+    /// Runs the TPM credential-activation protocol for one agent
+    /// against the registrar.
+    fn register<'a>(
+        &'a self,
+        agent: &'a Agent,
+        rng: &'a mut dyn RandomSource,
+    ) -> LocalBoxFuture<'a, Result<(), RegisterError>>;
+    /// The EK the registrar saw during activation — compared against
+    /// the isolation service's published EK to detect MITM registrars.
+    fn registered_ek(&self, agent_id: &str) -> Option<PublicKey>;
+    /// Enrolls a registered node for quote verification: whitelists,
+    /// the V key share and the sealed tenant payload.
+    fn enroll(
+        &self,
+        agent: &Agent,
+        boot_whitelist: HashSet<Digest>,
+        ima_whitelist: ImaWhitelist,
+        v_share: Option<KeyShare>,
+        sealed_payload: Vec<u8>,
+        payload_wire_bytes: u64,
+    );
+    /// One attestation round: quote, verify, release V on success.
+    fn attest_once<'a>(
+        &'a self,
+        node_id: &'a str,
+        continuous: bool,
+    ) -> LocalBoxFuture<'a, AttestOutcome>;
+    /// Stops tracking a node (deprovision or abandon).
+    fn stop(&self, node_id: &str);
+}
+
+/// The provisioning service (the paper's BMI): image management and
+/// the iSCSI boot path.
+pub trait ProvisioningService {
+    /// Clones the golden image for one server and snapshots it.
+    fn clone_for_server(&self, golden: ImageId, server_name: &str) -> Result<ImageId, BmiError>;
+    /// Pulls kernel + cmdline out of an image's manifest.
+    fn extract_boot_info(&self, image: ImageId) -> Result<(KernelImage, String), BmiError>;
+    /// Exposes an image as an iSCSI boot target.
+    fn boot_target(&self, image: ImageId, transport: Transport, read_ahead: u64) -> IscsiTarget;
+    /// Releases a server's root volume, keeping or deleting it.
+    fn release(&self, image: ImageId, keep: bool) -> Result<(), BmiError>;
+}
+
+/// The boot service: firmware and machine-level operations that in a
+/// real deployment happen on the node itself (serial console, kexec).
+pub trait BootService {
+    /// The machine sitting in a given slot.
+    fn machine(&self, node: NodeId) -> Machine;
+    /// The known-good firmware build for a kind (provider's or the
+    /// tenant's own attested build).
+    fn good_firmware(&self, kind: FirmwareKind) -> FirmwareImage;
+    /// Runs the flashed firmware through POST and reports what came up.
+    fn run_firmware<'a>(
+        &'a self,
+        machine: &'a Machine,
+    ) -> LocalBoxFuture<'a, Result<FirmwareKind, MachineError>>;
+    /// Measures a downloaded artifact into the TPM event log.
+    fn measure_download(
+        &self,
+        machine: &Machine,
+        name: &str,
+        digest: Digest,
+    ) -> Result<(), MachineError>;
+    /// Kexecs from the firmware environment into the tenant kernel.
+    fn kexec(
+        &self,
+        machine: &Machine,
+        kernel: KernelImage,
+        tenant: &str,
+    ) -> Result<(), MachineError>;
+    /// Scrubs RAM residue (the non-attested deprovision path).
+    fn scrub(&self, machine: &Machine);
+}
+
+// ---------------------------------------------------------------------------
+// Cloud as a backend: the simulated provider implements isolation,
+// provisioning and boot.
+// ---------------------------------------------------------------------------
+
+impl IsolationService for Cloud {
+    fn node_name(&self, node: NodeId) -> Result<String, HilError> {
+        self.hil.node_name(node)
+    }
+    fn node_metadata(&self, node: NodeId) -> Result<NodeMetadata, HilError> {
+        self.hil.node_metadata(node)
+    }
+    fn create_network(&self, project: &str, name: String) -> Result<NetworkId, HilError> {
+        self.hil.create_network(project, name)
+    }
+    fn allocate_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
+        self.hil.allocate_node(project, node)
+    }
+    fn free_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
+        self.hil.free_node(project, node)
+    }
+    fn connect_node(&self, project: &str, node: NodeId, net: NetworkId) -> Result<(), HilError> {
+        self.hil.connect_node(project, node, net)
+    }
+    fn detach_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
+        self.hil.detach_node(project, node)
+    }
+    fn power_cycle(&self, project: &str, node: NodeId) -> Result<(), HilError> {
+        self.hil.power_cycle(project, node)
+    }
+    fn power_off(&self, project: &str, node: NodeId) -> Result<(), HilError> {
+        self.hil.power_off(project, node)
+    }
+    fn quarantine(&self, node: NodeId) {
+        Cloud::quarantine(self, node);
+    }
+}
+
+impl ProvisioningService for Cloud {
+    fn clone_for_server(&self, golden: ImageId, server_name: &str) -> Result<ImageId, BmiError> {
+        self.bmi.clone_for_server(golden, server_name)
+    }
+    fn extract_boot_info(&self, image: ImageId) -> Result<(KernelImage, String), BmiError> {
+        self.bmi.extract_boot_info(image)
+    }
+    fn boot_target(&self, image: ImageId, transport: Transport, read_ahead: u64) -> IscsiTarget {
+        self.bmi.boot_target(image, transport, read_ahead)
+    }
+    fn release(&self, image: ImageId, keep: bool) -> Result<(), BmiError> {
+        self.bmi.release(image, keep)
+    }
+}
+
+impl BootService for Cloud {
+    fn machine(&self, node: NodeId) -> Machine {
+        Cloud::machine(self, node)
+    }
+    fn good_firmware(&self, kind: FirmwareKind) -> FirmwareImage {
+        Cloud::good_firmware(self, kind)
+    }
+    fn run_firmware<'a>(
+        &'a self,
+        machine: &'a Machine,
+    ) -> LocalBoxFuture<'a, Result<FirmwareKind, MachineError>> {
+        Box::pin(machine.run_firmware(&self.sim))
+    }
+    fn measure_download(
+        &self,
+        machine: &Machine,
+        name: &str,
+        digest: Digest,
+    ) -> Result<(), MachineError> {
+        machine.measure_download(name, digest)
+    }
+    fn kexec(
+        &self,
+        machine: &Machine,
+        kernel: KernelImage,
+        tenant: &str,
+    ) -> Result<(), MachineError> {
+        machine.kexec(kernel, tenant)
+    }
+    fn scrub(&self, machine: &Machine) {
+        machine.scrub_memory();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keylime as the attestation backend.
+// ---------------------------------------------------------------------------
+
+/// The tenant-operated Keylime pair (registrar + verifier) packaged as
+/// an [`AttestationService`].
+pub struct KeylimeAttestation {
+    sim: Sim,
+    registrar: Registrar,
+    verifier: Verifier,
+}
+
+impl KeylimeAttestation {
+    /// Stands up a registrar and verifier wired into the cloud's fault
+    /// plan and observability sinks.
+    pub fn new(cloud: &Cloud, config: VerifierConfig) -> Self {
+        let registrar = Registrar::new();
+        let verifier = Verifier::new(&cloud.sim, &registrar, config);
+        registrar.set_faults(&cloud.faults);
+        verifier.set_faults(&cloud.faults);
+        verifier.set_observability(&cloud.spans, &cloud.metrics);
+        KeylimeAttestation {
+            sim: cloud.sim.clone(),
+            registrar,
+            verifier,
+        }
+    }
+
+    /// The underlying verifier (revocation subscriptions, status).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// The underlying registrar.
+    pub fn registrar(&self) -> &Registrar {
+        &self.registrar
+    }
+}
+
+impl AttestationService for KeylimeAttestation {
+    fn register<'a>(
+        &'a self,
+        agent: &'a Agent,
+        rng: &'a mut dyn RandomSource,
+    ) -> LocalBoxFuture<'a, Result<(), RegisterError>> {
+        Box::pin(agent.register(&self.sim, &self.registrar, rng))
+    }
+    fn registered_ek(&self, agent_id: &str) -> Option<PublicKey> {
+        self.registrar.registered_ek(agent_id)
+    }
+    fn enroll(
+        &self,
+        agent: &Agent,
+        boot_whitelist: HashSet<Digest>,
+        ima_whitelist: ImaWhitelist,
+        v_share: Option<KeyShare>,
+        sealed_payload: Vec<u8>,
+        payload_wire_bytes: u64,
+    ) {
+        self.verifier.add_node(
+            agent,
+            boot_whitelist,
+            ima_whitelist,
+            v_share,
+            sealed_payload,
+            payload_wire_bytes,
+        );
+    }
+    fn attest_once<'a>(
+        &'a self,
+        node_id: &'a str,
+        continuous: bool,
+    ) -> LocalBoxFuture<'a, AttestOutcome> {
+        Box::pin(self.verifier.attest_once(node_id, continuous))
+    }
+    fn stop(&self, node_id: &str) {
+        self.verifier.stop(node_id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bundles handed to the orchestrator.
+// ---------------------------------------------------------------------------
+
+/// The four service endpoints a tenant orchestrates against.
+#[derive(Clone)]
+pub struct Services {
+    /// Node allocation, networking, power (HIL).
+    pub isolation: Rc<dyn IsolationService>,
+    /// Registration, enrollment, quote rounds (Keylime).
+    pub attestation: Rc<dyn AttestationService>,
+    /// Images and boot targets (BMI).
+    pub provisioning: Rc<dyn ProvisioningService>,
+    /// Firmware and machine-level operations.
+    pub boot: Rc<dyn BootService>,
+}
+
+impl Services {
+    /// The standard wiring: `Cloud` backs isolation, provisioning and
+    /// boot; the caller supplies the attestation backend.
+    pub fn of_cloud(cloud: &Cloud, attestation: Rc<dyn AttestationService>) -> Services {
+        let backend = Rc::new(cloud.clone());
+        Services {
+            isolation: backend.clone(),
+            attestation,
+            provisioning: backend.clone(),
+            boot: backend,
+        }
+    }
+}
+
+/// The ambient pieces of a tenant's world that are not service calls:
+/// virtual time, calibration, the instrumented call envelope, tracing
+/// and the two shared queueing resources.
+#[derive(Clone)]
+pub struct TenantEnv {
+    /// Measured phase durations driving every sleep.
+    pub calib: Calibration,
+    /// The single fault/retry/span/metrics envelope for service calls.
+    pub call: CallEnv,
+    /// Human-readable event trace.
+    pub tracer: Tracer,
+    /// The provisioning-network HTTP server (boot artifact downloads).
+    pub http: Resource,
+    /// The airlock bottleneck (paper §4.1: limited airlock slots).
+    pub airlock: Resource,
+}
+
+impl TenantEnv {
+    /// Captures a cloud's environment: the call envelope inherits the
+    /// cloud's fault plan, spans and metrics.
+    pub fn of_cloud(cloud: &Cloud) -> TenantEnv {
+        let call = CallEnv::new(&cloud.sim);
+        call.set_faults(&cloud.faults);
+        call.set_observability(&cloud.spans, &cloud.metrics);
+        TenantEnv {
+            calib: cloud.calib.clone(),
+            call,
+            tracer: cloud.tracer.clone(),
+            http: cloud.http.clone(),
+            airlock: cloud.airlock.clone(),
+        }
+    }
+
+    /// The simulation clock behind the call envelope.
+    pub fn sim(&self) -> &Sim {
+        self.call.sim()
+    }
+}

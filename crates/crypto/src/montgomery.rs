@@ -58,7 +58,13 @@ impl Montgomery {
         // division-free.
         let r2 = BigUint::one().shl(2 * 64 * k).rem(m).to_u64_limbs(k);
         let one = BigUint::one().shl(64 * k).rem(m).to_u64_limbs(k);
-        Some(Montgomery { n, n0inv, r2, one, k })
+        Some(Montgomery {
+            n,
+            n0inv,
+            r2,
+            one,
+            k,
+        })
     }
 
     /// The limb count of the modulus.
@@ -249,6 +255,7 @@ impl Montgomery {
     ///
     /// Pure REDC — k reduction rounds, no multiplicand — so it costs
     /// half a [`Self::mont_mul`].
+    #[allow(clippy::wrong_self_convention)]
     fn from_mont(&self, a: &[u64]) -> BigUint {
         let k = self.k;
         debug_assert_eq!(a.len(), k);
@@ -368,11 +375,11 @@ fn less_than(a: &[u64], b: &[u64]) -> bool {
 /// `a -= b` over little-endian limbs (`a` may be longer than `b`).
 fn sub_in_place(a: &mut [u64], b: &[u64]) {
     let mut borrow = 0u64;
-    for i in 0..a.len() {
+    for (i, ai) in a.iter_mut().enumerate() {
         let bi = b.get(i).copied().unwrap_or(0);
-        let (d1, o1) = a[i].overflowing_sub(bi);
+        let (d1, o1) = ai.overflowing_sub(bi);
         let (d2, o2) = d1.overflowing_sub(borrow);
-        a[i] = d2;
+        *ai = d2;
         borrow = u64::from(o1) + u64::from(o2);
     }
     debug_assert_eq!(borrow, 0);
@@ -504,4 +511,3 @@ mod tests {
         }
     }
 }
-

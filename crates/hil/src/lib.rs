@@ -19,7 +19,7 @@ use std::rc::Rc;
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
 use bolted_net::{Fabric, HostId, NetError, SwitchId, VlanId};
-use bolted_sim::Metrics;
+use bolted_sim::{Metrics, OpGate};
 
 /// A tenant project (HIL's unit of ownership).
 pub type Project = String;
@@ -100,7 +100,15 @@ impl std::fmt::Display for HilError {
     }
 }
 
-impl std::error::Error for HilError {}
+impl std::error::Error for HilError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HilError::Switch(e) => Some(e),
+            HilError::Bmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<NetError> for HilError {
     fn from(e: NetError) -> Self {
@@ -149,9 +157,9 @@ struct HilInner {
     networks: Vec<Option<Network>>,
     vlan_pool: Vec<VlanId>,
     audit: Vec<String>,
-    /// Optional registry: HIL is sim-free (minimal TCB), so it records
-    /// plain counters/gauges only — never timings.
-    metrics: Metrics,
+    /// Optional counters/gauges: HIL is sim-free (minimal TCB), so it
+    /// only uses the gate's synchronous counting side — never timings.
+    gate: OpGate,
 }
 
 /// The Hardware Isolation Layer service.
@@ -171,7 +179,7 @@ impl Hil {
                 networks: Vec::new(),
                 vlan_pool: (100..1100).rev().collect(),
                 audit: Vec::new(),
-                metrics: Metrics::disabled(),
+                gate: OpGate::disabled(),
             })),
         }
     }
@@ -180,7 +188,7 @@ impl Hil {
     /// as `hil_ops{op=..}` and the free pool is mirrored into the
     /// `hil_free_nodes` gauge.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        self.inner.borrow_mut().metrics = metrics.clone();
+        self.inner.borrow().gate.set_metrics(metrics);
     }
 
     fn log(&self, entry: String) {
@@ -190,17 +198,18 @@ impl Hil {
     /// Counts one completed operation (called next to the audit log, so
     /// counters and log always agree).
     fn count(&self, op: &str) {
-        let metrics = self.inner.borrow().metrics.clone();
-        metrics.inc("hil_ops", &[("op", op)]);
+        let gate = self.inner.borrow().gate.clone();
+        gate.count("hil_ops", "op", op);
     }
 
     fn update_free_gauge(&self) {
         let inner = self.inner.borrow();
-        if !inner.metrics.is_enabled() {
+        let metrics = inner.gate.metrics();
+        if !metrics.is_enabled() {
             return;
         }
         let free = inner.nodes.iter().filter(|n| n.owner.is_none()).count();
-        inner.metrics.set_gauge("hil_free_nodes", &[], free as f64);
+        metrics.set_gauge("hil_free_nodes", &[], free as f64);
     }
 
     /// The audit log (every privileged operation, in order).

@@ -56,7 +56,14 @@ impl std::fmt::Display for RegisterError {
     }
 }
 
-impl std::error::Error for RegisterError {}
+impl std::error::Error for RegisterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegisterError::Tpm(e) => Some(e),
+            RegisterError::Registrar(e) => Some(e),
+        }
+    }
+}
 
 impl From<TpmError> for RegisterError {
     fn from(e: TpmError) -> Self {

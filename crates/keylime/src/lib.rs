@@ -26,6 +26,4 @@ pub use agent::{agent_binary_digest, Agent, AttestationEvidence, RegisterError, 
 pub use ima::{ImaEntry, ImaLog, ImaViolation, ImaWhitelist};
 pub use payload::{combine_key, split_key, KeyShare, TenantPayload};
 pub use registrar::{Registrar, RegistrarError};
-pub use verifier::{
-    AttestOutcome, NodeStatus, RevocationEvent, Verifier, VerifierConfig, RPC_FAULT_PREFIX,
-};
+pub use verifier::{AttestOutcome, NodeStatus, RevocationEvent, Verifier, VerifierConfig};

@@ -16,20 +16,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
 use bolted_sim::fault::{mix_seed, ops, Faults};
-use bolted_sim::{retry_if_observed, Metrics, RetryError, RetryPolicy, SpanId, Spans};
 use bolted_sim::{channel, join_all, JoinHandle, Receiver, Rng, Sender, Sim, SimDuration, SimTime};
+use bolted_sim::{CallEnv, Metrics, RetryError, RetryPolicy, SpanId, Spans};
 use bolted_tpm::{index, PcrBank, Quote, TpmError};
 
 use crate::agent::{Agent, AttestationEvidence};
 use crate::ima::ImaWhitelist;
 use crate::payload::KeyShare;
 use crate::registrar::Registrar;
-
-/// Prefix on failure reasons caused by injected verifier-RPC faults
-/// (dropped quote round-trips) rather than by bad evidence. Callers use
-/// it to distinguish "infrastructure gave out" — release the node, don't
-/// quarantine it — from a genuine attestation rejection.
-pub const RPC_FAULT_PREFIX: &str = "verifier-rpc";
 
 /// Timing and selection configuration for a verifier.
 #[derive(Debug, Clone)]
@@ -80,6 +74,13 @@ pub enum AttestOutcome {
     Trusted,
     /// Verification failed; node is revoked.
     Failed(String),
+    /// The quote round-trip never completed: injected RPC drops outlived
+    /// the retry budget. Infrastructure gave out — the node is *not*
+    /// revoked or quarantined; the caller decides whether to release it.
+    Unreachable {
+        /// Quote attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 /// A revocation broadcast to enclave members.
@@ -150,12 +151,11 @@ struct PendingAttest {
 /// The Cloud Verifier service (tenant-deployable).
 #[derive(Clone)]
 pub struct Verifier {
-    sim: Sim,
     registrar: Registrar,
     config: VerifierConfig,
-    faults: Rc<RefCell<Faults>>,
-    spans: Rc<RefCell<Spans>>,
-    metrics: Rc<RefCell<Metrics>>,
+    /// The shared instrumented call path: clock, fault handle, span
+    /// recorder and metrics registry behind one install point.
+    env: CallEnv,
     inner: Rc<RefCell<VerifierInner>>,
 }
 
@@ -163,12 +163,9 @@ impl Verifier {
     /// Creates a verifier bound to a registrar.
     pub fn new(sim: &Sim, registrar: &Registrar, config: VerifierConfig) -> Self {
         Verifier {
-            sim: sim.clone(),
             registrar: registrar.clone(),
             config,
-            faults: Rc::new(RefCell::new(Faults::disabled())),
-            spans: Rc::new(RefCell::new(Spans::disabled())),
-            metrics: Rc::new(RefCell::new(Metrics::disabled())),
+            env: CallEnv::new(sim),
             inner: Rc::new(RefCell::new(VerifierInner {
                 nodes: HashMap::new(),
                 subscribers: Vec::new(),
@@ -178,10 +175,14 @@ impl Verifier {
         }
     }
 
+    fn sim(&self) -> &Sim {
+        self.env.sim()
+    }
+
     /// Installs a fault-injection handle; quote round-trips consult it
     /// (existing clones of this verifier see it too).
     pub fn set_faults(&self, faults: &Faults) {
-        *self.faults.borrow_mut() = faults.clone();
+        self.env.set_faults(faults);
     }
 
     /// Installs span/metrics recorders (existing clones see them too).
@@ -189,8 +190,7 @@ impl Verifier {
     /// closes when the verdict lands — *before* any key material moves —
     /// plus quote retry/verdict counters.
     pub fn set_observability(&self, spans: &Spans, metrics: &Metrics) {
-        *self.spans.borrow_mut() = spans.clone();
-        *self.metrics.borrow_mut() = metrics.clone();
+        self.env.set_observability(spans, metrics);
     }
 
     /// The active configuration.
@@ -264,7 +264,7 @@ impl Verifier {
         let d = bolted_crypto::sha256_concat(&[
             b"cv-nonce",
             &inner.nonce_counter.to_le_bytes(),
-            &self.sim.now().as_nanos().to_le_bytes(),
+            &self.sim().now().as_nanos().to_le_bytes(),
         ]);
         *d.as_bytes()
     }
@@ -372,10 +372,10 @@ impl Verifier {
         let event = RevocationEvent {
             node_id: node_id.to_string(),
             reason: reason.to_string(),
-            detected_at: self.sim.now(),
+            detected_at: self.sim().now(),
         };
         // One notification RTT to reach subscribers (sent in parallel).
-        self.sim.sleep(self.config.rtt).await;
+        self.sim().sleep(self.config.rtt).await;
         let subs: Vec<Sender<RevocationEvent>> = self.inner.borrow().subscribers.to_vec();
         for tx in subs {
             tx.send(event.clone());
@@ -387,23 +387,25 @@ impl Verifier {
     pub async fn attest_once(&self, node_id: &str, continuous: bool) -> AttestOutcome {
         match self.collect_evidence(node_id, continuous).await {
             Ok(pending) => self.finish_attest(pending, None).await,
-            Err(reason) => AttestOutcome::Failed(reason),
+            Err(outcome) => outcome,
         }
     }
 
     /// Network/quote half of an attestation round: nonce, RTTs, the
     /// agent's quote, and the verification CPU budget. Agent failures are
     /// recorded (and broadcast) here so the concurrent and sequential
-    /// paths fail identically.
+    /// paths fail identically. An `Err` is the round's final outcome:
+    /// `Failed` for protocol-level rejections, `Unreachable` when the
+    /// quote RPC itself gave out.
     async fn collect_evidence(
         &self,
         node_id: &str,
         continuous: bool,
-    ) -> Result<PendingAttest, String> {
+    ) -> Result<PendingAttest, AttestOutcome> {
         let (agent, selection) = {
             let inner = self.inner.borrow();
             let Some(node) = inner.nodes.get(node_id) else {
-                return Err("unknown node".into());
+                return Err(AttestOutcome::Failed("unknown node".into()));
             };
             let sel = if continuous {
                 self.config.continuous_selection.clone()
@@ -413,12 +415,11 @@ impl Verifier {
             (node.agent.clone(), sel)
         };
         let nonce = self.fresh_nonce();
-        let spans = self.spans.borrow().clone();
-        let metrics = self.metrics.borrow().clone();
+        let spans = self.env.spans();
         // The round's quote-verify span stays open until the verdict in
         // finish_attest, so key-material release is provably ordered
         // after its close.
-        let span = spans.begin(&self.sim, "keylime", "quote-verify", node_id);
+        let span = spans.begin(self.sim(), "keylime", "quote-verify", node_id);
         // The quote round-trip [rtt → RPC → rtt] can be dropped by the
         // fault plan; dropped rounds retry with backoff. Agent *errors*
         // (the TPM refused to quote) are protocol outcomes, not network
@@ -430,10 +431,10 @@ impl Verifier {
             Dropped,
             Agent(TpmError),
         }
-        let faults = self.faults.borrow().clone();
+        let faults = self.env.faults();
         let mut retry_rng = Rng::seed_from_u64(mix_seed(0x5EC0_11D5, &[node_id]));
         let op = || {
-            let sim = self.sim.clone();
+            let sim = self.sim().clone();
             let faults = faults.clone();
             let agent = agent.clone();
             let selection = selection.clone();
@@ -453,17 +454,17 @@ impl Verifier {
                 Ok(ev)
             }
         };
-        let evidence = match retry_if_observed(
-            &self.sim,
-            &self.config.retry,
-            &mut retry_rng,
-            &metrics,
-            "verifier.quote",
-            node_id,
-            op,
-            |e| matches!(e, RoundError::Dropped),
-        )
-        .await
+        let evidence = match self
+            .env
+            .call(
+                &self.config.retry,
+                &mut retry_rng,
+                "verifier.quote",
+                node_id,
+                op,
+                |e| matches!(e, RoundError::Dropped),
+            )
+            .await
         {
             Ok(ev) => ev,
             Err(RetryError::Fatal {
@@ -472,10 +473,10 @@ impl Verifier {
             }) => {
                 let reason = format!("agent error: {e}");
                 spans.attr(span, "outcome", "agent-error");
-                spans.end(&self.sim, span);
+                spans.end(self.sim(), span);
                 self.fail_node(node_id, &reason);
                 self.broadcast_revocation(node_id, &reason).await;
-                return Err(reason);
+                return Err(AttestOutcome::Failed(reason));
             }
             Err(e) => {
                 // Exhausted/timed out on injected drops: infrastructure
@@ -483,14 +484,13 @@ impl Verifier {
                 // revocation broadcast — the caller decides what to do
                 // with an unreachable node.
                 spans.attr(span, "outcome", "rpc-fault");
-                spans.end(&self.sim, span);
-                return Err(format!(
-                    "{RPC_FAULT_PREFIX}: quote round-trip failed after {} attempts",
-                    e.attempts()
-                ));
+                spans.end(self.sim(), span);
+                return Err(AttestOutcome::Unreachable {
+                    attempts: e.attempts(),
+                });
             }
         };
-        self.sim.sleep(self.config.verify_cost).await;
+        self.sim().sleep(self.config.verify_cost).await;
         Ok(PendingAttest {
             node_id: node_id.to_string(),
             agent,
@@ -516,14 +516,14 @@ impl Verifier {
             evidence,
             span,
         } = pending;
-        let spans = self.spans.borrow().clone();
-        let metrics = self.metrics.borrow().clone();
+        let spans = self.env.spans();
+        let metrics = self.env.metrics();
         match self.verify_evidence_inner(&node_id, &nonce, &selection, &evidence, precomputed_sig) {
             Ok(()) => {
                 // Close the span at the verdict — strictly before any key
                 // material moves, so span ordering proves the invariant.
                 spans.attr(span, "outcome", "trusted");
-                spans.end(&self.sim, span);
+                spans.end(self.sim(), span);
                 metrics.inc(
                     "quote_verdicts",
                     &[("target", &node_id), ("outcome", "trusted")],
@@ -553,10 +553,10 @@ impl Verifier {
                     // Payload download (kernel + initrd dominate).
                     let approx = sealed.len() as u64 + wire;
                     let t = SimDuration::from_secs_f64(approx as f64 / self.config.payload_bps);
-                    self.sim.sleep(t + self.config.rtt).await;
+                    self.sim().sleep(t + self.config.rtt).await;
                     // The guarded key-material event: V leaves the
                     // verifier only here, after the span above closed.
-                    spans.event(&self.sim, "key", "v-release", &node_id);
+                    spans.event(self.sim(), "key", "v-release", &node_id);
                     metrics.inc("key_releases", &[("target", &node_id)]);
                     agent.deliver_v_and_payload(v, &sealed);
                 }
@@ -565,7 +565,7 @@ impl Verifier {
             Err(reason) => {
                 spans.attr(span, "outcome", "failed");
                 spans.attr(span, "reason", reason.clone());
-                spans.end(&self.sim, span);
+                spans.end(self.sim(), span);
                 metrics.inc(
                     "quote_verdicts",
                     &[("target", &node_id), ("outcome", "failed")],
@@ -594,7 +594,7 @@ impl Verifier {
             .map(|id| {
                 let this = self.clone();
                 let id = id.clone();
-                self.sim
+                self.sim()
                     .spawn(async move { this.collect_evidence(&id, continuous).await })
             })
             .collect();
@@ -617,10 +617,10 @@ impl Verifier {
             .zip(sigs)
             .map(|(c, sig)| {
                 let this = self.clone();
-                self.sim.spawn(async move {
+                self.sim().spawn(async move {
                     match c {
                         Ok(pending) => this.finish_attest(pending, sig).await,
-                        Err(reason) => AttestOutcome::Failed(reason),
+                        Err(outcome) => outcome,
                     }
                 })
             })
@@ -633,7 +633,7 @@ impl Verifier {
         if let Some(node) = inner.nodes.get_mut(node_id) {
             node.status = NodeStatus::Failed(reason.to_string());
             if node.detected_at.is_none() {
-                node.detected_at = Some(self.sim.now());
+                node.detected_at = Some(self.sim().now());
             }
         }
     }
@@ -644,10 +644,10 @@ impl Verifier {
     pub fn spawn_continuous(&self, node_id: &str) -> JoinHandle<u64> {
         let this = self.clone();
         let node_id = node_id.to_string();
-        self.sim.spawn(async move {
+        self.sim().spawn(async move {
             let mut rounds = 0u64;
             loop {
-                this.sim.sleep(this.config.poll_interval).await;
+                this.sim().sleep(this.config.poll_interval).await;
                 let stopped = {
                     let inner = this.inner.borrow();
                     inner.nodes.get(&node_id).is_none_or(|n| n.stop)
@@ -657,7 +657,7 @@ impl Verifier {
                 }
                 match this.attest_once(&node_id, true).await {
                     AttestOutcome::Trusted => rounds += 1,
-                    AttestOutcome::Failed(_) => break,
+                    AttestOutcome::Failed(_) | AttestOutcome::Unreachable { .. } => break,
                 }
             }
             rounds
@@ -1062,9 +1062,11 @@ mod tests {
     fn transient_quote_drops_retried_to_trusted() {
         use bolted_sim::fault::{FaultPlan, FaultSpec};
         let r = rig();
-        let faults = Faults::new(
-            FaultPlan::seeded(7).with_target(ops::VERIFIER_QUOTE, "node-1", FaultSpec::flaky(2)),
-        );
+        let faults = Faults::new(FaultPlan::seeded(7).with_target(
+            ops::VERIFIER_QUOTE,
+            "node-1",
+            FaultSpec::flaky(2),
+        ));
         r.verifier.set_faults(&faults);
         let outcome = r.sim.block_on({
             let sim = r.sim.clone();
@@ -1095,10 +1097,11 @@ mod tests {
     fn exhausted_quote_rpc_fails_without_revocation() {
         use bolted_sim::fault::{FaultPlan, FaultSpec};
         let r = rig();
-        let faults = Faults::new(
-            FaultPlan::seeded(7)
-                .with_target(ops::VERIFIER_QUOTE, "node-1", FaultSpec::permanent()),
-        );
+        let faults = Faults::new(FaultPlan::seeded(7).with_target(
+            ops::VERIFIER_QUOTE,
+            "node-1",
+            FaultSpec::permanent(),
+        ));
         r.verifier.set_faults(&faults);
         let (outcome, revocation) = r.sim.block_on({
             let sim = r.sim.clone();
@@ -1122,11 +1125,11 @@ mod tests {
             }
         });
         // An unreachable verifier RPC is an infrastructure failure, not
-        // evidence of compromise: the reason is tagged for the caller and
-        // the node is neither marked Failed nor revoked.
+        // evidence of compromise: the typed outcome carries the attempt
+        // count and the node is neither marked Failed nor revoked.
         match outcome {
-            AttestOutcome::Failed(ref reason) => {
-                assert!(reason.starts_with(RPC_FAULT_PREFIX), "got: {reason}")
+            AttestOutcome::Unreachable { attempts } => {
+                assert_eq!(attempts, VerifierConfig::default().retry.max_attempts)
             }
             other => panic!("expected infra failure, got {other:?}"),
         }
@@ -1159,8 +1162,8 @@ mod tests {
                 let agent = boot_and_register(&rig_ref).await;
                 v.add_node(&agent, wl.clone(), ImaWhitelist::new(), None, Vec::new(), 0);
                 let first = v.attest_once("node-1", false).await; // warms the AIK cache
-                // Reboot: fresh AIK on the same TPM (same EK), re-register,
-                // re-add. The verifier's cache entry is now stale.
+                                                                  // Reboot: fresh AIK on the same TPM (same EK), re-register,
+                                                                  // re-add. The verifier's cache entry is now stale.
                 m.power_cycle();
                 let agent2 = boot_and_register(&rig_ref).await;
                 v.add_node(&agent2, wl, ImaWhitelist::new(), None, Vec::new(), 0);
@@ -1306,14 +1309,7 @@ mod fleet_tests {
                         .register(&sim, &registrar, &mut rng)
                         .await
                         .expect("registers");
-                    verifier.add_node(
-                        &agent,
-                        wl.clone(),
-                        ImaWhitelist::new(),
-                        None,
-                        Vec::new(),
-                        0,
-                    );
+                    verifier.add_node(&agent, wl.clone(), ImaWhitelist::new(), None, Vec::new(), 0);
                     ids.push(format!("node-{i}"));
                 }
                 let t0 = sim.now();

@@ -13,8 +13,8 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bolted_crypto::cost::CipherCost;
-use bolted_sim::fault::{ops, FaultDecision, Faults};
-use bolted_sim::{Metrics, Resource, Sim, SimDuration};
+use bolted_sim::fault::{ops, Faults};
+use bolted_sim::{Metrics, OpGate, Resource, Sim, SimDuration};
 
 use crate::link::{LinkModel, ESP_OVERHEAD_BYTES};
 
@@ -153,8 +153,7 @@ struct FabricInner {
     taps: HashMap<VlanId, Vec<Vec<u8>>>,
     tap_enabled: bool,
     violations: u64,
-    faults: Faults,
-    metrics: Metrics,
+    gate: OpGate,
 }
 
 /// The shared network fabric.
@@ -178,8 +177,7 @@ impl Fabric {
                 taps: HashMap::new(),
                 tap_enabled: false,
                 violations: 0,
-                faults: Faults::disabled(),
-                metrics: Metrics::disabled(),
+                gate: OpGate::disabled(),
             })),
             tx_locks: Rc::new(RefCell::new(Vec::new())),
             rx_locks: Rc::new(RefCell::new(Vec::new())),
@@ -249,13 +247,13 @@ impl Fabric {
     /// Installs a fault-injection handle; subsequent control-plane calls
     /// (VLAN programming) consult it.
     pub fn set_faults(&self, faults: &Faults) {
-        self.inner.borrow_mut().faults = faults.clone();
+        self.inner.borrow().gate.set_faults(faults);
     }
 
     /// Attaches a metrics registry; VLAN programming is counted as
     /// `switch_vlan_sets{target=<attached host>}`.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        self.inner.borrow_mut().metrics = metrics.clone();
+        self.inner.borrow().gate.set_metrics(metrics);
     }
 
     /// Sets (or clears) the access VLAN of a switch port.
@@ -267,7 +265,7 @@ impl Fabric {
         vlan: Option<VlanId>,
     ) -> Result<(), NetError> {
         let mut inner = self.inner.borrow_mut();
-        if inner.faults.enabled() || inner.metrics.is_enabled() {
+        if inner.gate.is_live() {
             // Key the fault stream by the attached host's name so chaos
             // plans can target "that node's switch port" symbolically.
             let target = inner
@@ -278,13 +276,9 @@ impl Fabric {
                 .map(|h| inner.hosts[h].name.clone())
                 .unwrap_or_else(|| format!("sw{}:p{}", switch.0, port));
             inner
-                .metrics
-                .inc("switch_vlan_sets", &[("target", &target)]);
-            // Delay is meaningless for a synchronous control call; only
-            // Fail is observable here.
-            if inner.faults.decide(ops::SWITCH_SET_VLAN, &target) == FaultDecision::Fail {
-                return Err(NetError::SwitchUnreachable);
-            }
+                .gate
+                .tap("switch_vlan_sets", ops::SWITCH_SET_VLAN, &target)
+                .map_err(|_| NetError::SwitchUnreachable)?;
         }
         let sw = inner
             .switches
@@ -625,9 +619,11 @@ mod tests {
     fn vlan_programming_respects_fault_plan() {
         use bolted_sim::fault::{ops, FaultPlan, FaultSpec, Faults};
         let (_sim, fabric, a, b) = setup();
-        let faults = Faults::new(
-            FaultPlan::seeded(1).with_target(ops::SWITCH_SET_VLAN, "node-a", FaultSpec::flaky(2)),
-        );
+        let faults = Faults::new(FaultPlan::seeded(1).with_target(
+            ops::SWITCH_SET_VLAN,
+            "node-a",
+            FaultSpec::flaky(2),
+        ));
         fabric.set_faults(&faults);
         // node-a's port flaps twice, then recovers.
         assert_eq!(

@@ -1,0 +1,362 @@
+//! The single instrumented call path shared by every service boundary.
+//!
+//! Fault injection, op counters, retry accounting and span windows used
+//! to be hand-threaded through each call site — the BMC adapter, the
+//! switch management plane, the iSCSI gateway and the Keylime verifier
+//! each carried their own `Rc<RefCell<Faults>>`/`Metrics` pair plus the
+//! same install/clone/consult boilerplate. This module folds that
+//! plumbing into two small shared handles:
+//!
+//! * [`OpGate`] sits on the *service* side of a boundary. It owns the
+//!   late-installable fault + metrics handles and applies the canonical
+//!   per-attempt discipline: count the attempt, then consult the fault
+//!   plan.
+//! * [`CallEnv`] sits on the *orchestration* side (a tenant script, the
+//!   verifier). It bundles the clock with fault/span/metrics handles and
+//!   fronts [`retry_if_observed`] so retried service calls are uniformly
+//!   counted and backed off, and phase spans open and close in one place.
+//!
+//! Both are cheap to clone and use double indirection (`Rc<RefCell<…>>`)
+//! so a handle installed *after* a component was cloned into its
+//! consumers is still seen by every clone. With nothing installed, both
+//! are free: no RNG draws, no allocation, no timers.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::rc::Rc;
+
+use crate::executor::Sim;
+use crate::fault::{FaultDecision, FaultInjected, Faults};
+use crate::metrics::Metrics;
+use crate::retry::{retry_if_observed, RetryError, RetryPolicy};
+use crate::rng::Rng;
+use crate::span::{SpanId, Spans};
+use crate::time::SimTime;
+
+struct GateInner {
+    faults: Faults,
+    metrics: Metrics,
+}
+
+/// The service-side half of the instrumented call path: one handle per
+/// gated component, replacing its hand-rolled fault + metrics pair.
+///
+/// `OpGate` is sim-free so components that must not depend on virtual
+/// time (HIL, the minimal TCB) can still count through it; only
+/// [`OpGate::pass`] — the async latency-injecting gate — takes a [`Sim`].
+#[derive(Clone)]
+pub struct OpGate {
+    inner: Rc<RefCell<GateInner>>,
+}
+
+impl OpGate {
+    /// A gate with nothing installed: counts nowhere, injects nothing.
+    pub fn disabled() -> Self {
+        OpGate {
+            inner: Rc::new(RefCell::new(GateInner {
+                faults: Faults::disabled(),
+                metrics: Metrics::disabled(),
+            })),
+        }
+    }
+
+    /// A gate with fault and metrics handles installed up front.
+    pub fn with(faults: &Faults, metrics: &Metrics) -> Self {
+        let gate = Self::disabled();
+        gate.set_faults(faults);
+        gate.set_metrics(metrics);
+        gate
+    }
+
+    /// Installs a fault-injection handle; every clone of this gate
+    /// (including ones taken before this call) consults it.
+    pub fn set_faults(&self, faults: &Faults) {
+        self.inner.borrow_mut().faults = faults.clone();
+    }
+
+    /// Attaches a metrics registry; every clone of this gate sees it.
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        self.inner.borrow_mut().metrics = metrics.clone();
+    }
+
+    /// The installed fault handle (a cheap shared clone).
+    pub fn faults(&self) -> Faults {
+        self.inner.borrow().faults.clone()
+    }
+
+    /// The installed metrics registry (a cheap shared clone).
+    pub fn metrics(&self) -> Metrics {
+        self.inner.borrow().metrics.clone()
+    }
+
+    /// True when counting or injecting would observe anything. Sync call
+    /// sites that must build a target string per call check this first so
+    /// the disabled path allocates nothing.
+    pub fn is_live(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.faults.enabled() || inner.metrics.is_enabled()
+    }
+
+    /// One attempt of a synchronous operation: bumps
+    /// `counter{target=..}`, then consults the fault plan. `Delay`
+    /// degrades to `Allow` — a synchronous request/response cannot
+    /// stretch virtual time — so only `Fail` is observable.
+    pub fn tap(&self, counter: &str, op: &str, target: &str) -> Result<(), FaultInjected> {
+        let (faults, metrics) = {
+            let inner = self.inner.borrow();
+            (inner.faults.clone(), inner.metrics.clone())
+        };
+        metrics.inc(counter, &[("target", target)]);
+        if faults.enabled() && faults.decide(op, target) == FaultDecision::Fail {
+            return Err(FaultInjected {
+                op: op.to_string(),
+                target: target.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// One attempt of an asynchronous operation: consults the fault
+    /// plan, sleeping out injected latency spikes. Counting is left to
+    /// the caller — async paths count completed work, not attempts.
+    pub async fn pass(&self, sim: &Sim, op: &str, target: &str) -> Result<(), FaultInjected> {
+        let faults = self.faults();
+        faults.gate(sim, op, target).await
+    }
+
+    /// Bumps `counter{key=value}` in the installed registry.
+    pub fn count(&self, counter: &str, key: &str, value: &str) {
+        self.metrics().inc(counter, &[(key, value)]);
+    }
+}
+
+struct EnvInner {
+    faults: Faults,
+    spans: Spans,
+    metrics: Metrics,
+}
+
+/// An open phase window: the span plus its start time, returned by
+/// [`CallEnv::open_phase`] and consumed by [`CallEnv::close_phase`].
+///
+/// Dropping the handle without closing it leaves the span open — which
+/// is the *intended* error-path behaviour: the enclosing root span's
+/// close pops it, recording exactly where the run stopped.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseHandle {
+    /// The open span.
+    pub span: SpanId,
+    /// When the phase started.
+    pub started: SimTime,
+}
+
+/// The orchestration-side half of the instrumented call path: the clock
+/// plus fault/span/metrics handles, behind one install point.
+#[derive(Clone)]
+pub struct CallEnv {
+    sim: Sim,
+    inner: Rc<RefCell<EnvInner>>,
+}
+
+impl CallEnv {
+    /// An environment with nothing installed (spans and metrics are
+    /// no-ops, the fault plan is empty).
+    pub fn new(sim: &Sim) -> Self {
+        CallEnv {
+            sim: sim.clone(),
+            inner: Rc::new(RefCell::new(EnvInner {
+                faults: Faults::disabled(),
+                spans: Spans::disabled(),
+                metrics: Metrics::disabled(),
+            })),
+        }
+    }
+
+    /// The simulation this environment runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Installs a fault-injection handle (seen by every clone).
+    pub fn set_faults(&self, faults: &Faults) {
+        self.inner.borrow_mut().faults = faults.clone();
+    }
+
+    /// Installs span + metrics recorders (seen by every clone).
+    pub fn set_observability(&self, spans: &Spans, metrics: &Metrics) {
+        let mut inner = self.inner.borrow_mut();
+        inner.spans = spans.clone();
+        inner.metrics = metrics.clone();
+    }
+
+    /// The installed fault handle (a cheap shared clone).
+    pub fn faults(&self) -> Faults {
+        self.inner.borrow().faults.clone()
+    }
+
+    /// The installed span recorder (a cheap shared clone).
+    pub fn spans(&self) -> Spans {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// The installed metrics registry (a cheap shared clone).
+    pub fn metrics(&self) -> Metrics {
+        self.inner.borrow().metrics.clone()
+    }
+
+    /// Runs `op` under `policy`, retrying only errors `is_transient`
+    /// accepts, with every re-attempt counted as
+    /// `retry_attempts{op,target}`. This is the uniform envelope for
+    /// retried service calls: same backoff, same jitter, same counters,
+    /// regardless of which service sits behind `op`.
+    pub async fn call<T, E, F, Fut, P>(
+        &self,
+        policy: &RetryPolicy,
+        rng: &mut Rng,
+        op_name: &str,
+        target: &str,
+        op: F,
+        is_transient: P,
+    ) -> Result<T, RetryError<E>>
+    where
+        F: FnMut() -> Fut,
+        Fut: Future<Output = Result<T, E>>,
+        P: Fn(&E) -> bool,
+    {
+        let metrics = self.metrics();
+        retry_if_observed(
+            &self.sim,
+            policy,
+            rng,
+            &metrics,
+            op_name,
+            target,
+            op,
+            is_transient,
+        )
+        .await
+    }
+
+    /// Opens a phase span under `category` and records its start time.
+    pub fn open_phase(
+        &self,
+        category: &'static str,
+        name: &'static str,
+        target: &str,
+    ) -> PhaseHandle {
+        let started = self.sim.now();
+        let span = self.spans().begin(&self.sim, category, name, target);
+        PhaseHandle { span, started }
+    }
+
+    /// Closes a phase span and feeds `histogram{phase=<name>}` with its
+    /// duration. Call only on success — error paths drop the handle so
+    /// the open span marks where the run stopped.
+    pub fn close_phase(&self, handle: PhaseHandle, histogram: &str, name: &str) {
+        self.spans().end(&self.sim, handle.span);
+        self.metrics().observe_duration(
+            histogram,
+            &[("phase", name)],
+            self.sim.now().since(handle.started),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ops, FaultPlan, FaultSpec};
+
+    #[test]
+    fn disabled_gate_counts_nothing_and_allows_everything() {
+        let gate = OpGate::disabled();
+        assert!(!gate.is_live());
+        assert!(gate.tap("ops", ops::BMC_POWER, "m1").is_ok());
+    }
+
+    #[test]
+    fn tap_counts_before_the_fault_decision() {
+        let metrics = Metrics::new();
+        let faults = Faults::new(FaultPlan::seeded(1).with_target(
+            ops::BMC_POWER,
+            "m1",
+            FaultSpec::permanent(),
+        ));
+        let gate = OpGate::with(&faults, &metrics);
+        assert!(gate.is_live());
+        let err = gate.tap("bmc_power_ops", ops::BMC_POWER, "m1").unwrap_err();
+        assert_eq!(err.op, ops::BMC_POWER);
+        // The attempt was counted even though it failed.
+        assert_eq!(metrics.counter("bmc_power_ops", &[("target", "m1")]), 1);
+    }
+
+    #[test]
+    fn late_install_reaches_existing_clones() {
+        let gate = OpGate::disabled();
+        let taken_early = gate.clone();
+        let metrics = Metrics::new();
+        gate.set_metrics(&metrics);
+        taken_early.count("hil_ops", "op", "allocate");
+        assert_eq!(metrics.counter("hil_ops", &[("op", "allocate")]), 1);
+    }
+
+    #[test]
+    fn env_call_retries_through_the_uniform_envelope() {
+        let sim = Sim::new();
+        let env = CallEnv::new(&sim);
+        let metrics = Metrics::new();
+        env.set_observability(&Spans::disabled(), &metrics);
+        let policy = RetryPolicy::default();
+        let result: Result<u32, RetryError<&str>> = sim.block_on({
+            let env = env.clone();
+            async move {
+                let mut rng = Rng::seed_from_u64(1);
+                let attempts = Rc::new(RefCell::new(0u32));
+                env.call(
+                    &policy,
+                    &mut rng,
+                    "svc.op",
+                    "t1",
+                    || {
+                        let attempts = attempts.clone();
+                        async move {
+                            let mut n = attempts.borrow_mut();
+                            *n += 1;
+                            if *n < 3 {
+                                Err("transient")
+                            } else {
+                                Ok(*n)
+                            }
+                        }
+                    },
+                    |_| true,
+                )
+                .await
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+        assert_eq!(
+            metrics.counter("retry_attempts", &[("op", "svc.op"), ("target", "t1")]),
+            2
+        );
+    }
+
+    #[test]
+    fn phase_window_records_span_and_histogram_on_close() {
+        let sim = Sim::new();
+        let env = CallEnv::new(&sim);
+        let spans = Spans::new();
+        let metrics = Metrics::new();
+        env.set_observability(&spans, &metrics);
+        let handle = env.open_phase("tenant", "firmware", "m1");
+        env.close_phase(handle, "provision_phase_seconds", "firmware");
+        let record = spans.find("firmware", "m1").expect("span recorded");
+        assert!(record.end.is_some());
+        assert_eq!(
+            metrics
+                .histogram("provision_phase_seconds", &[("phase", "firmware")])
+                .map(|h| h.stats.count()),
+            Some(1)
+        );
+    }
+}

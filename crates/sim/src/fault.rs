@@ -374,9 +374,11 @@ mod tests {
 
     #[test]
     fn permanent_never_recovers() {
-        let f = Faults::new(
-            FaultPlan::seeded(1).with_target(ops::SWITCH_SET_VLAN, "n3", FaultSpec::permanent()),
-        );
+        let f = Faults::new(FaultPlan::seeded(1).with_target(
+            ops::SWITCH_SET_VLAN,
+            "n3",
+            FaultSpec::permanent(),
+        ));
         for _ in 0..50 {
             assert_eq!(f.decide(ops::SWITCH_SET_VLAN, "n3"), FaultDecision::Fail);
         }
@@ -402,7 +404,9 @@ mod tests {
                 ops::STORAGE_READ,
                 FaultSpec::transient(0.3).with_spike(0.2, SimDuration::from_millis(50)),
             ));
-            (0..64).map(|_| f.decide(ops::STORAGE_READ, "imgA")).collect()
+            (0..64)
+                .map(|_| f.decide(ops::STORAGE_READ, "imgA"))
+                .collect()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds should differ");
@@ -412,7 +416,9 @@ mod tests {
     fn interleaving_other_targets_does_not_perturb_a_stream() {
         let plan = FaultPlan::seeded(9).with(ops::STORAGE_READ, FaultSpec::transient(0.5));
         let solo = Faults::new(plan.clone());
-        let solo_seq: Vec<_> = (0..32).map(|_| solo.decide(ops::STORAGE_READ, "a")).collect();
+        let solo_seq: Vec<_> = (0..32)
+            .map(|_| solo.decide(ops::STORAGE_READ, "a"))
+            .collect();
         let mixed = Faults::new(plan);
         let mixed_seq: Vec<_> = (0..32)
             .map(|_| {
@@ -482,13 +488,31 @@ mod tests {
             let _ = f.decide(ops::BMC_POWER, "n1");
         }
         let _ = f.decide(ops::BMC_POWER, "n2");
-        assert_eq!(m.counter("faults_injected", &[("op", ops::BMC_POWER), ("target", "n1")]), 2);
-        assert_eq!(m.counter("faults_injected", &[("op", ops::BMC_POWER), ("target", "n2")]), 1);
+        assert_eq!(
+            m.counter(
+                "faults_injected",
+                &[("op", ops::BMC_POWER), ("target", "n1")]
+            ),
+            2
+        );
+        assert_eq!(
+            m.counter(
+                "faults_injected",
+                &[("op", ops::BMC_POWER), ("target", "n2")]
+            ),
+            1
+        );
         assert_eq!(m.counter_total("faults_injected"), f.total_injected());
         // install() resets fault state but keeps the registry attached.
         f.install(FaultPlan::seeded(2).with(ops::BMC_POWER, FaultSpec::flaky(1)));
         let _ = f.decide(ops::BMC_POWER, "n1");
-        assert_eq!(m.counter("faults_injected", &[("op", ops::BMC_POWER), ("target", "n1")]), 3);
+        assert_eq!(
+            m.counter(
+                "faults_injected",
+                &[("op", ops::BMC_POWER), ("target", "n1")]
+            ),
+            3
+        );
     }
 
     #[test]

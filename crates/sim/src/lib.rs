@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod call;
 mod executor;
 pub mod fault;
 pub mod metrics;
@@ -25,6 +26,7 @@ mod sync;
 mod time;
 mod trace;
 
+pub use call::{CallEnv, OpGate, PhaseHandle};
 pub use executor::{join_all, JoinHandle, Sim, Sleep};
 pub use fault::{FaultDecision, FaultInjected, FaultPlan, FaultSpec, Faults};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};

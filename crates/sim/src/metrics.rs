@@ -267,7 +267,11 @@ impl MetricsSnapshot {
             push_json_string(&mut out, k);
             let _ = write!(out, ": {v}");
         }
-        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"gauges\": {");
         for (i, (k, v)) in self.gauges.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -276,7 +280,11 @@ impl MetricsSnapshot {
             out.push_str(": ");
             push_f64(&mut out, *v);
         }
-        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"histograms\": {");
         for (i, (k, h)) in self.histograms.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -285,11 +293,32 @@ impl MetricsSnapshot {
             out.push_str(": {\"count\": ");
             let _ = write!(out, "{}", h.stats.count());
             out.push_str(", \"mean\": ");
-            push_f64(&mut out, if h.stats.count() > 0 { h.stats.mean() } else { 0.0 });
+            push_f64(
+                &mut out,
+                if h.stats.count() > 0 {
+                    h.stats.mean()
+                } else {
+                    0.0
+                },
+            );
             out.push_str(", \"min\": ");
-            push_f64(&mut out, if h.stats.count() > 0 { h.stats.min() } else { 0.0 });
+            push_f64(
+                &mut out,
+                if h.stats.count() > 0 {
+                    h.stats.min()
+                } else {
+                    0.0
+                },
+            );
             out.push_str(", \"max\": ");
-            push_f64(&mut out, if h.stats.count() > 0 { h.stats.max() } else { 0.0 });
+            push_f64(
+                &mut out,
+                if h.stats.count() > 0 {
+                    h.stats.max()
+                } else {
+                    0.0
+                },
+            );
             out.push_str(", \"bounds\": [");
             for (j, b) in h.bounds.iter().enumerate() {
                 if j > 0 {
@@ -306,7 +335,11 @@ impl MetricsSnapshot {
             }
             out.push_str("]}");
         }
-        out.push_str(if self.histograms.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
         out.push('}');
         out
     }
@@ -322,10 +355,19 @@ mod tests {
         m.inc("retry_attempts", &[("op", "bmc.power"), ("target", "n1")]);
         m.inc("retry_attempts", &[("op", "bmc.power"), ("target", "n1")]);
         m.inc("retry_attempts", &[("op", "bmc.power"), ("target", "n2")]);
-        assert_eq!(m.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n1")]), 2);
-        assert_eq!(m.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n2")]), 1);
+        assert_eq!(
+            m.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n1")]),
+            2
+        );
+        assert_eq!(
+            m.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n2")]),
+            1
+        );
         assert_eq!(m.counter_total("retry_attempts"), 3);
-        assert_eq!(m.counter("retry_attempts", &[("op", "x"), ("target", "n1")]), 0);
+        assert_eq!(
+            m.counter("retry_attempts", &[("op", "x"), ("target", "n1")]),
+            0
+        );
     }
 
     #[test]

@@ -151,7 +151,11 @@ impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for RetryError<E>
 /// Races `fut` against a virtual-time deadline. Returns `None` when the
 /// deadline fires first. The losing future is dropped, which cancels it
 /// (simulated work is all cooperative).
-pub async fn with_timeout<T>(sim: &Sim, limit: SimDuration, fut: impl Future<Output = T>) -> Option<T> {
+pub async fn with_timeout<T>(
+    sim: &Sim,
+    limit: SimDuration,
+    fut: impl Future<Output = T>,
+) -> Option<T> {
     let mut fut = Box::pin(fut);
     let mut deadline = Box::pin(sim.sleep(limit));
     std::future::poll_fn(move |cx| {
@@ -209,7 +213,15 @@ where
     Fut: Future<Output = Result<T, E>>,
     P: FnMut(&E) -> bool,
 {
-    retry_if_inner(sim, policy, rng, op, is_transient, Some((metrics, op_name, target))).await
+    retry_if_inner(
+        sim,
+        policy,
+        rng,
+        op,
+        is_transient,
+        Some((metrics, op_name, target)),
+    )
+    .await
 }
 
 async fn retry_if_inner<T, E, F, Fut, P>(
@@ -251,7 +263,9 @@ where
             }
             None => {
                 if attempt_no >= max {
-                    return Err(RetryError::TimedOut { attempts: attempt_no });
+                    return Err(RetryError::TimedOut {
+                        attempts: attempt_no,
+                    });
                 }
             }
         }
@@ -317,7 +331,7 @@ mod tests {
     fn first_attempt_success_costs_no_time_or_rng_draws() {
         let sim = Sim::new();
         let calls = Rc::new(Cell::new(0));
-        let mut rng = Rng::seed_from_u64(1);
+        let rng = Rng::seed_from_u64(1);
         let before = rng.clone();
         let op = flaky_op(&sim, &calls, 0, SimDuration::ZERO);
         let got = sim.block_on({
@@ -368,7 +382,10 @@ mod tests {
         });
         assert_eq!(got, Ok(3));
         // Two failures -> backoffs of 100ms and 200ms.
-        assert_eq!(sim.now().as_nanos(), SimDuration::from_millis(300).as_nanos());
+        assert_eq!(
+            sim.now().as_nanos(),
+            SimDuration::from_millis(300).as_nanos()
+        );
     }
 
     #[test]
@@ -463,7 +480,10 @@ mod tests {
         // task: block_on's final drain still pops the cancelled ops' 5s
         // sleep timers, advancing sim.now() past this — the stray-timer
         // effect documented on `RetryPolicy::timeout`.)
-        assert_eq!(done_at.as_nanos(), SimDuration::from_millis(2010).as_nanos());
+        assert_eq!(
+            done_at.as_nanos(),
+            SimDuration::from_millis(2010).as_nanos()
+        );
         assert_eq!(calls.get(), 0, "slow op never completed");
     }
 
@@ -534,7 +554,10 @@ mod tests {
             }
         });
         assert_eq!(got, Ok(1));
-        assert_eq!(metrics.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n2")]), 0);
+        assert_eq!(
+            metrics.counter("retry_attempts", &[("op", "bmc.power"), ("target", "n2")]),
+            0
+        );
         assert_eq!(metrics.counter("retry_attempts", labels), 2, "n1 unchanged");
     }
 

@@ -135,7 +135,13 @@ impl Spans {
 
     /// Opens a span on `target` at the current virtual time. The span
     /// nests under the innermost open span on the same target.
-    pub fn begin(&self, sim: &Sim, category: &'static str, name: &'static str, target: &str) -> SpanId {
+    pub fn begin(
+        &self,
+        sim: &Sim,
+        category: &'static str,
+        name: &'static str,
+        target: &str,
+    ) -> SpanId {
         let mut inner = self.inner.borrow_mut();
         if !inner.enabled {
             return SpanId::NONE;
@@ -198,7 +204,13 @@ impl Spans {
 
     /// Records an instant event: a zero-duration span (consuming two
     /// sequence numbers, one for each boundary), nested like any other.
-    pub fn event(&self, sim: &Sim, category: &'static str, name: &'static str, target: &str) -> SpanId {
+    pub fn event(
+        &self,
+        sim: &Sim,
+        category: &'static str,
+        name: &'static str,
+        target: &str,
+    ) -> SpanId {
         let id = self.begin(sim, category, name, target);
         self.end(sim, id);
         id

@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use bolted_crypto::cost::CipherCost;
 use bolted_sim::fault::{ops, Faults};
-use bolted_sim::{JoinHandle, Metrics, Resource, Sim, SimDuration};
+use bolted_sim::{JoinHandle, Metrics, OpGate, Resource, Sim, SimDuration};
 
 use crate::cluster::ImageId;
 use crate::image::{ImageError, ImageStore};
@@ -41,12 +41,10 @@ pub struct Gateway {
     service: Resource,
     /// Gateway processing + NIC throughput, bytes per second.
     bandwidth_bps: f64,
-    /// Fault-injection handle consulted on every read path. Double
-    /// indirection so a handle installed after targets were opened (and
-    /// the gateway cloned into them) is still seen by all of them.
-    faults: Rc<RefCell<Faults>>,
-    /// Metrics registry (same double indirection as `faults`).
-    metrics: Rc<RefCell<Metrics>>,
+    /// Fault + metrics gate consulted on every read path. The gate's own
+    /// indirection means a handle installed after targets were opened
+    /// (and the gateway cloned into them) is still seen by all of them.
+    gate: OpGate,
 }
 
 impl Gateway {
@@ -61,8 +59,7 @@ impl Gateway {
         Gateway {
             service: Resource::new(sim, 1),
             bandwidth_bps,
-            faults: Rc::new(RefCell::new(Faults::disabled())),
-            metrics: Rc::new(RefCell::new(Metrics::disabled())),
+            gate: OpGate::disabled(),
         }
     }
 
@@ -70,22 +67,14 @@ impl Gateway {
     /// gateway (including ones opened before this call) consult it on
     /// every read.
     pub fn set_faults(&self, faults: &Faults) {
-        *self.faults.borrow_mut() = faults.clone();
+        self.gate.set_faults(faults);
     }
 
     /// Attaches a metrics registry; reads through any target opened from
     /// this gateway count `storage_read_ops`/`storage_read_bytes` per
     /// image.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        *self.metrics.borrow_mut() = metrics.clone();
-    }
-
-    fn faults(&self) -> Faults {
-        self.faults.borrow().clone()
-    }
-
-    fn metrics(&self) -> Metrics {
-        self.metrics.borrow().clone()
+        self.gate.set_metrics(metrics);
     }
 
     async fn charge(&self, bytes: u64) {
@@ -333,15 +322,15 @@ impl IscsiTarget {
     /// failures surface as [`ImageError::Transient`].
     async fn read_gate(&self) -> Result<(), ImageError> {
         self.gateway
-            .faults()
-            .gate(&self.sim, ops::STORAGE_READ, &self.fault_key)
+            .gate
+            .pass(&self.sim, ops::STORAGE_READ, &self.fault_key)
             .await
             .map_err(|_| ImageError::Transient)
     }
 
     /// Accounts one successful client read against this target's image.
     fn count_read(&self, len: u64) {
-        let metrics = self.gateway.metrics();
+        let metrics = self.gateway.gate.metrics();
         metrics.inc("storage_read_ops", &[("target", &self.fault_key)]);
         metrics.add("storage_read_bytes", &[("target", &self.fault_key)], len);
     }

@@ -135,11 +135,7 @@ fn chaos_runs_are_deterministic_under_a_seed() {
             .map(|p| p.report.node.clone())
             .collect();
         names.sort();
-        (
-            names,
-            cloud.faults.total_injected(),
-            sim.now().as_nanos(),
-        )
+        (names, cloud.faults.total_injected(), sim.now().as_nanos())
     };
     let a = run();
     let b = run();

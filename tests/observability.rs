@@ -153,12 +153,10 @@ fn empty_fault_plan_means_zero_retry_and_fault_counters() {
     assert!(cloud.metrics.counter_total("hil_ops") > 0);
     assert_eq!(cloud.metrics.counter_total("key_releases"), 2);
     assert_eq!(
-        cloud
-            .metrics
-            .counter("provision_outcomes", &[
-                ("profile", "charlie-full"),
-                ("outcome", "ok"),
-            ]),
+        cloud.metrics.counter(
+            "provision_outcomes",
+            &[("profile", "charlie-full"), ("outcome", "ok"),]
+        ),
         2
     );
 }
@@ -168,8 +166,7 @@ fn abandoned_node_is_an_exhausted_outcome_in_the_registry() {
     // A permanently dead BMC: the node is released, the fleet call
     // reports it, and the registry shows one exhausted outcome next to
     // the successes.
-    let plan =
-        FaultPlan::seeded(7).with_target(ops::BMC_POWER, "m620-02", FaultSpec::permanent());
+    let plan = FaultPlan::seeded(7).with_target(ops::BMC_POWER, "m620-02", FaultSpec::permanent());
     let (sim, cloud, golden) = build(2, plan);
     let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
     let nodes = cloud.nodes();
@@ -183,17 +180,12 @@ fn abandoned_node_is_an_exhausted_outcome_in_the_registry() {
         }
     });
     assert!(results[0].is_ok());
-    assert!(matches!(
-        results[1],
-        Err(ProvisionError::Exhausted { .. })
-    ));
+    assert!(matches!(results[1], Err(ProvisionError::Exhausted { .. })));
     let outcome = |o: &str| {
-        cloud
-            .metrics
-            .counter("provision_outcomes", &[
-                ("profile", "charlie-full"),
-                ("outcome", o),
-            ])
+        cloud.metrics.counter(
+            "provision_outcomes",
+            &[("profile", "charlie-full"), ("outcome", o)],
+        )
     };
     assert_eq!(outcome("ok"), 1);
     assert_eq!(outcome("exhausted"), 1);
