@@ -17,7 +17,8 @@
 
 use bolted_crypto::sha256::Digest;
 use bolted_firmware::KernelImage;
-use bolted_sim::Sim;
+use bolted_sim::fault::ops;
+use bolted_sim::{FaultInjected, OpGate, Sim};
 use bolted_storage::{Backing, Gateway, ImageError, ImageId, ImageStore, IscsiTarget, Transport};
 
 /// Manifest keys BMI uses to stash extracted boot info.
@@ -35,6 +36,13 @@ pub enum BmiError {
     Image(ImageError),
     /// The image has no extractable boot information.
     NoBootInfo,
+    /// The BMI endpoint was unreachable (injected infrastructure fault).
+    Unavailable {
+        /// The gated operation that failed.
+        op: String,
+        /// The server or image it was addressed to.
+        target: String,
+    },
 }
 
 impl std::fmt::Display for BmiError {
@@ -42,6 +50,9 @@ impl std::fmt::Display for BmiError {
         match self {
             BmiError::Image(e) => write!(f, "image error: {e}"),
             BmiError::NoBootInfo => write!(f, "image has no boot manifest"),
+            BmiError::Unavailable { op, target } => {
+                write!(f, "bmi unavailable: {op} on {target}")
+            }
         }
     }
 }
@@ -50,7 +61,7 @@ impl std::error::Error for BmiError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BmiError::Image(e) => Some(e),
-            BmiError::NoBootInfo => None,
+            BmiError::NoBootInfo | BmiError::Unavailable { .. } => None,
         }
     }
 }
@@ -61,12 +72,22 @@ impl From<ImageError> for BmiError {
     }
 }
 
+impl From<FaultInjected> for BmiError {
+    fn from(e: FaultInjected) -> Self {
+        BmiError::Unavailable {
+            op: e.op,
+            target: e.target,
+        }
+    }
+}
+
 /// The BMI service.
 #[derive(Clone)]
 pub struct Bmi {
     sim: Sim,
     store: ImageStore,
     gateway: Gateway,
+    gate: OpGate,
 }
 
 impl Bmi {
@@ -76,7 +97,16 @@ impl Bmi {
             sim: sim.clone(),
             store: store.clone(),
             gateway: gateway.clone(),
+            gate: OpGate::disabled(),
         }
+    }
+
+    /// The service-side instrumentation gate. The datacenter wires a
+    /// fault handle into it so chaos plans can target `bmi.*` ops;
+    /// metrics stay opt-in (tests install their own registry) so default
+    /// runs publish an unchanged counter set.
+    pub fn gate(&self) -> &OpGate {
+        &self.gate
     }
 
     /// The underlying image store.
@@ -118,6 +148,7 @@ impl Bmi {
         golden: ImageId,
         server_name: &str,
     ) -> Result<ImageId, BmiError> {
+        self.gate.tap("bmi_ops", ops::BMI_CLONE, server_name)?;
         Ok(self
             .store
             .clone_image(golden, format!("{server_name}-root"))?)
@@ -128,6 +159,10 @@ impl Bmi {
     /// and command line "so that they could be passed to a booting server
     /// in a secure way via Keylime".
     pub fn extract_boot_info(&self, image: ImageId) -> Result<(KernelImage, String), BmiError> {
+        if self.gate.is_live() {
+            self.gate
+                .tap("bmi_ops", ops::BMI_BOOT_INFO, &format!("img-{}", image.0))?;
+        }
         let name = self
             .store
             .manifest(image, manifest_keys::KERNEL_NAME)
@@ -157,6 +192,7 @@ impl Bmi {
         transport: Transport,
         read_ahead: u64,
     ) -> IscsiTarget {
+        self.gate.count("bmi_ops", "op", "boot_target");
         IscsiTarget::new(
             &self.sim,
             &self.store,
@@ -171,6 +207,10 @@ impl Bmi {
     /// later restart on any compatible node ("saving and/or deleting the
     /// servers' persistent state when a server is released").
     pub fn release(&self, image: ImageId, keep: bool) -> Result<(), BmiError> {
+        if self.gate.is_live() {
+            self.gate
+                .tap("bmi_ops", ops::BMI_RELEASE, &format!("img-{}", image.0))?;
+        }
         if keep {
             Ok(())
         } else {
@@ -254,6 +294,45 @@ mod tests {
         assert!(bmi.store().lookup("node-1-root").is_none());
         bmi.release(c2, true).expect("keeps");
         assert!(bmi.store().lookup("node-2-root").is_some());
+    }
+
+    #[test]
+    fn gate_injects_faults_and_counts_ops() {
+        use bolted_sim::{FaultPlan, FaultSpec, Faults, Metrics};
+        let (_sim, bmi) = setup();
+        let golden = bmi
+            .create_golden("fedora28", 8 << 30, 7, &kernel(), "")
+            .expect("creates");
+
+        // Opt the gate into a private metrics registry (the datacenter
+        // deliberately leaves metrics off) and a chaos plan that makes
+        // clone_for_server permanently unavailable.
+        let metrics = Metrics::new();
+        let faults = Faults::new(FaultPlan::seeded(7).with(ops::BMI_CLONE, FaultSpec::permanent()));
+        bmi.gate().set_metrics(&metrics);
+        bmi.gate().set_faults(&faults);
+
+        let err = bmi.clone_for_server(golden, "node-1").unwrap_err();
+        match err {
+            BmiError::Unavailable { ref op, ref target } => {
+                assert_eq!(op, ops::BMI_CLONE);
+                assert_eq!(target, "node-1");
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert!(!err.to_string().is_empty());
+
+        // Untargeted ops still succeed and land in the opt-in registry.
+        let (k, _) = bmi.extract_boot_info(golden).expect("extracts");
+        assert_eq!(k.digest, kernel().digest);
+        bmi.release(golden, true).expect("keeps");
+        // `tap` counts attempts per target: one against node-1 (the
+        // injected clone), two against the golden image (boot-info probe
+        // plus release).
+        let img = format!("img-{}", golden.0);
+        assert_eq!(metrics.counter("bmi_ops", &[("target", "node-1")]), 1);
+        assert_eq!(metrics.counter("bmi_ops", &[("target", &img)]), 2);
+        assert_eq!(metrics.counter_total("bmi_ops"), 3);
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Enclave runtime: the mesh of provisioned nodes, their IPsec tunnels,
 //! and the continuous-attestation / revocation flow (§7.4).
 
+// lint: allow-file(L1-index: member indices are the enclave's public
+// addressing scheme — callers pass 0..len(), and hosts/banned/tunnels are
+// all sized at formation; an out-of-range member index is a caller bug the
+// same way an out-of-range Vec index is)
+
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -33,6 +38,8 @@ impl Enclave {
     pub fn form(cloud: &Cloud, members: Vec<ProvisionedNode>) -> Enclave {
         let hosts: Vec<HostId> = members
             .iter()
+            // lint: allow(L1-panic: members are ProvisionedNodes, whose
+            // node ids were registered by the same Cloud at build time)
             .map(|m| cloud.hil.node_host(m.node).expect("member registered"))
             .collect();
         let encrypted = members.first().is_some_and(|m| !m.psk.is_empty());
@@ -194,6 +201,9 @@ pub async fn revocation_experiment(
     let violation_at = sim.now() + misbehave_at;
     {
         let sim2 = sim.clone();
+        // lint: allow(L1-panic: the revocation experiment is only
+        // meaningful over attested members; a drill against an unattested
+        // profile is a harness misconfiguration)
         let agent = enclave.members[victim]
             .agent
             .clone()
@@ -204,6 +214,8 @@ pub async fn revocation_experiment(
         });
     }
     // Wait for the verifier to notice.
+    // lint: allow(L1-panic: the verifier end of the revocation channel
+    // lives for the whole experiment; a closed channel is a harness bug)
     let event = rx.recv().await.expect("revocation broadcast");
     let detected_at = event.detected_at;
     // Every other member applies the revocation in parallel.

@@ -18,6 +18,7 @@ use std::rc::Rc;
 
 use bolted_bmi::BmiError;
 use bolted_crypto::chacha20::Key;
+use bolted_crypto::secret::Secret;
 use bolted_crypto::sha256::Digest;
 use bolted_firmware::{FirmwareKind, KernelImage, Machine, MachineError};
 use bolted_hil::{HilError, NetworkId, NodeId};
@@ -52,6 +53,9 @@ pub enum ProvisionError {
     /// orchestration bug surfaced as an error, not a panic, so one sick
     /// node cannot take down a whole fleet call.
     IllegalTransition(InvalidTransition),
+    /// A pipeline phase ran before the phase that produces its input —
+    /// an orchestration ordering bug surfaced as an error, not a panic.
+    Internal(&'static str),
     /// An infrastructure operation kept failing after bounded retries;
     /// the node was released back to the free pool.
     Exhausted {
@@ -73,6 +77,7 @@ impl std::fmt::Display for ProvisionError {
             ProvisionError::Storage(e) => write!(f, "storage: {e}"),
             ProvisionError::Rejected(r) => write!(f, "attestation rejected: {r}"),
             ProvisionError::IllegalTransition(t) => write!(f, "life-cycle violation: {t}"),
+            ProvisionError::Internal(what) => write!(f, "pipeline ordering bug: {what}"),
             ProvisionError::Exhausted { op, attempts, last } => {
                 write!(
                     f,
@@ -91,9 +96,11 @@ impl std::error::Error for ProvisionError {
             ProvisionError::Machine(e) => Some(e),
             ProvisionError::Storage(e) => Some(e),
             ProvisionError::IllegalTransition(t) => Some(t),
-            // These two summarise a decision, not a wrapped failure: the
+            // These summarise a decision, not a wrapped failure: the
             // underlying cause (if any) is already flattened into text.
-            ProvisionError::Rejected(_) | ProvisionError::Exhausted { .. } => None,
+            ProvisionError::Rejected(_)
+            | ProvisionError::Internal(_)
+            | ProvisionError::Exhausted { .. } => None,
         }
     }
 }
@@ -706,8 +713,12 @@ impl Tenant {
             node,
             machine: cx.machine,
             agent: cx.agent,
-            target: cx.target.expect("boot phase sets the iSCSI target"),
-            image: cx.image.expect("image-clone phase sets the image"),
+            target: cx.target.ok_or(ProvisionError::Internal(
+                "boot phase must set the iSCSI target",
+            ))?,
+            image: cx.image.ok_or(ProvisionError::Internal(
+                "image-clone phase must set the image",
+            ))?,
             report: ProvisionReport {
                 node: cx.name,
                 profile: profile.name.clone(),
@@ -845,8 +856,12 @@ impl Tenant {
                 cx.agent = None;
             }
             AttestationMode::Provider | AttestationMode::Tenant => {
-                let image = cx.image.expect("image-clone runs before attestation");
-                let kernel = cx.kernel.clone().expect("image-clone sets the kernel");
+                let image = cx.image.ok_or(ProvisionError::Internal(
+                    "image-clone must run before attestation",
+                ))?;
+                let kernel = cx.kernel.clone().ok_or(ProvisionError::Internal(
+                    "image-clone must set the kernel before attestation",
+                ))?;
                 // The prototype supports one airlock: the attestation
                 // window (agent download through quote verification) is
                 // serialised across nodes (§7.3).
@@ -934,7 +949,7 @@ impl Tenant {
                     kernel_digest: kernel.digest,
                     kernel_size: calib.kernel_initrd_size,
                     cmdline: cx.cmdline.clone(),
-                    luks_passphrase: luks_pass,
+                    luks_passphrase: Secret::named("luks_passphrase", luks_pass),
                     ipsec_psk: cx.psk.clone(),
                     script: "verify-enclave-network && store-keys-in-initrd && kexec".into(),
                 };
@@ -1003,7 +1018,9 @@ impl Tenant {
     /// Step 4/6: leave the airlock, join the tenant enclave.
     async fn phase_enclave_join(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
         let sim = self.env.sim().clone();
-        let image = cx.image.expect("image-clone runs before enclave-join");
+        let image = cx.image.ok_or(ProvisionError::Internal(
+            "image-clone must run before enclave-join",
+        ))?;
         let join_enclave = {
             let isolation = self.services.isolation.clone();
             let project = self.project.clone();
@@ -1036,8 +1053,12 @@ impl Tenant {
     async fn phase_boot(&self, cx: &mut Ctx) -> Result<(), ProvisionError> {
         let sim = self.env.sim().clone();
         let calib = self.env.calib.clone();
-        let image = cx.image.expect("image-clone runs before boot");
-        let kernel = cx.kernel.clone().expect("image-clone sets the kernel");
+        let image = cx
+            .image
+            .ok_or(ProvisionError::Internal("image-clone must run before boot"))?;
+        let kernel = cx.kernel.clone().ok_or(ProvisionError::Internal(
+            "image-clone must set the kernel before boot",
+        ))?;
         self.services
             .boot
             .kexec(&cx.machine, kernel, &self.project)?;
@@ -1392,7 +1413,7 @@ mod tests {
             .expect("provisions");
         let agent = p.agent.as_ref().expect("agent present");
         let payload = agent.payload().expect("payload delivered");
-        assert!(!payload.luks_passphrase.is_empty());
+        assert!(!payload.luks_passphrase.expose().is_empty());
         assert!(!payload.ipsec_psk.is_empty());
         assert_eq!(payload.ipsec_psk, p.psk);
         // Phases present in the breakdown.

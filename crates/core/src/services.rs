@@ -44,22 +44,35 @@ pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
 /// metadata the provider publishes per node.
 pub trait IsolationService {
     /// Resolves a node's stable name (e.g. `m620-03`).
+    // lint: allow(L3: metadata getter — resolves provider-published state,
+    // no infrastructure round-trip to gate)
+    #[must_use = "a HIL lookup failure means the node id is stale"]
     fn node_name(&self, node: NodeId) -> Result<String, HilError>;
     /// Provider-published metadata: TPM EK and platform whitelist.
+    // lint: allow(L3: metadata getter — same published-state lookup as
+    // node_name)
+    #[must_use = "a HIL lookup failure means the node id is stale"]
     fn node_metadata(&self, node: NodeId) -> Result<NodeMetadata, HilError>;
     /// Creates an isolated tenant network (allocates a VLAN).
+    #[must_use = "ignoring a failed network creation leaks the tenant onto no VLAN"]
     fn create_network(&self, project: &str, name: String) -> Result<NetworkId, HilError>;
     /// Claims a free node for the project.
+    #[must_use = "an unchecked allocation failure races another tenant onto the node"]
     fn allocate_node(&self, project: &str, node: NodeId) -> Result<(), HilError>;
     /// Returns a node to the free pool (scrubs its port first).
+    #[must_use = "a failed free leaves the node allocated and its port attached"]
     fn free_node(&self, project: &str, node: NodeId) -> Result<(), HilError>;
     /// Moves the node's switch port onto a tenant network.
+    #[must_use = "a failed connect leaves the node off the tenant network"]
     fn connect_node(&self, project: &str, node: NodeId, net: NetworkId) -> Result<(), HilError>;
     /// Detaches the node's switch port from any tenant network.
+    #[must_use = "a failed detach leaves the port on the old network"]
     fn detach_node(&self, project: &str, node: NodeId) -> Result<(), HilError>;
     /// Power-cycles the node via its BMC.
+    #[must_use = "an unobserved power-cycle failure stalls the boot pipeline"]
     fn power_cycle(&self, project: &str, node: NodeId) -> Result<(), HilError>;
     /// Powers the node off via its BMC.
+    #[must_use = "an unobserved power-off failure leaves the machine running"]
     fn power_off(&self, project: &str, node: NodeId) -> Result<(), HilError>;
     /// Moves a node that failed attestation into the rejected pool so
     /// the scheduler never hands it out again.
@@ -71,6 +84,7 @@ pub trait IsolationService {
 pub trait AttestationService {
     /// Runs the TPM credential-activation protocol for one agent
     /// against the registrar.
+    #[must_use = "registration must be awaited and its failure retried or surfaced"]
     fn register<'a>(
         &'a self,
         agent: &'a Agent,
@@ -78,9 +92,13 @@ pub trait AttestationService {
     ) -> LocalBoxFuture<'a, Result<(), RegisterError>>;
     /// The EK the registrar saw during activation — compared against
     /// the isolation service's published EK to detect MITM registrars.
+    // lint: allow(L3: registrar-cache getter; the round-trip it reflects
+    // was already gated by register)
     fn registered_ek(&self, agent_id: &str) -> Option<PublicKey>;
     /// Enrolls a registered node for quote verification: whitelists,
     /// the V key share and the sealed tenant payload.
+    // lint: allow(L3: local verifier-state update — no infrastructure
+    // round-trip; the quote path it arms is gated by attest_once)
     fn enroll(
         &self,
         agent: &Agent,
@@ -91,12 +109,14 @@ pub trait AttestationService {
         payload_wire_bytes: u64,
     );
     /// One attestation round: quote, verify, release V on success.
+    // lint: op(verifier.quote)
     fn attest_once<'a>(
         &'a self,
         node_id: &'a str,
         continuous: bool,
     ) -> LocalBoxFuture<'a, AttestOutcome>;
     /// Stops tracking a node (deprovision or abandon).
+    // lint: allow(L3: local state removal; nothing to inject faults into)
     fn stop(&self, node_id: &str);
 }
 
@@ -104,12 +124,15 @@ pub trait AttestationService {
 /// the iSCSI boot path.
 pub trait ProvisioningService {
     /// Clones the golden image for one server and snapshots it.
+    #[must_use = "a failed clone leaves the server with no root volume"]
     fn clone_for_server(&self, golden: ImageId, server_name: &str) -> Result<ImageId, BmiError>;
     /// Pulls kernel + cmdline out of an image's manifest.
+    #[must_use = "without boot info the node cannot kexec into the tenant kernel"]
     fn extract_boot_info(&self, image: ImageId) -> Result<(KernelImage, String), BmiError>;
     /// Exposes an image as an iSCSI boot target.
     fn boot_target(&self, image: ImageId, transport: Transport, read_ahead: u64) -> IscsiTarget;
     /// Releases a server's root volume, keeping or deleting it.
+    #[must_use = "a failed release leaks the cloned volume in the store"]
     fn release(&self, image: ImageId, keep: bool) -> Result<(), BmiError>;
 }
 
@@ -117,16 +140,26 @@ pub trait ProvisioningService {
 /// real deployment happen on the node itself (serial console, kexec).
 pub trait BootService {
     /// The machine sitting in a given slot.
+    // lint: allow(L3: slot getter — resolves a handle, performs no
+    // operation on the machine)
     fn machine(&self, node: NodeId) -> Machine;
     /// The known-good firmware build for a kind (provider's or the
     /// tenant's own attested build).
+    // lint: allow(L3: static build lookup; no service round-trip)
     fn good_firmware(&self, kind: FirmwareKind) -> FirmwareImage;
     /// Runs the flashed firmware through POST and reports what came up.
+    // lint: allow(L3: on-node execution — POST latency and failure are
+    // charged by the Machine model itself, not a provider boundary the
+    // fault plan can sit on)
+    #[must_use = "POST failure must route the node to remediation"]
     fn run_firmware<'a>(
         &'a self,
         machine: &'a Machine,
     ) -> LocalBoxFuture<'a, Result<FirmwareKind, MachineError>>;
     /// Measures a downloaded artifact into the TPM event log.
+    // lint: allow(L3: on-node TPM extend; crossing no trust boundary —
+    // the artifact transfer itself is gated by storage.read)
+    #[must_use = "an unmeasured download breaks the chain of trust"]
     fn measure_download(
         &self,
         machine: &Machine,
@@ -134,6 +167,8 @@ pub trait BootService {
         digest: Digest,
     ) -> Result<(), MachineError>;
     /// Kexecs from the firmware environment into the tenant kernel.
+    // lint: allow(L3: on-node control transfer, no service round-trip)
+    #[must_use = "a failed kexec leaves the node in firmware, not the tenant kernel"]
     fn kexec(
         &self,
         machine: &Machine,
@@ -141,6 +176,7 @@ pub trait BootService {
         tenant: &str,
     ) -> Result<(), MachineError>;
     /// Scrubs RAM residue (the non-attested deprovision path).
+    // lint: allow(L3: on-node memory scrub; modelled inside Machine)
     fn scrub(&self, machine: &Machine);
 }
 

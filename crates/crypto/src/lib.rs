@@ -26,6 +26,7 @@ pub mod luks;
 pub mod montgomery;
 pub mod prime;
 pub mod rsa;
+pub mod secret;
 pub mod sha256;
 
 pub use aead::{Aead, AeadError};
@@ -37,4 +38,5 @@ pub use luks::{BlockDevice, BlockError, LuksDevice, RamDisk, SECTOR_SIZE};
 pub use montgomery::Montgomery;
 pub use prime::{RandomSource, XorShiftSource};
 pub use rsa::{generate_keypair, keypair_from_seed, KeyPair, PrivateKey, PublicKey, RsaError};
+pub use secret::{Secret, Zeroize};
 pub use sha256::{sha256, sha256_concat, Digest, Sha256};

@@ -98,15 +98,12 @@ pub struct PrivateKey {
     crt: Option<CrtParams>,
 }
 
-impl std::fmt::Debug for PrivateKey {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Never print the private exponent.
-        write!(f, "PrivateKey(n={} bits)", self.public.n.bits())
-    }
-}
+// `PrivateKey` (and therefore `KeyPair`) deliberately implements neither
+// `Debug` nor `Display`: the private exponent must not be formattable,
+// even redacted — see lint rule L2 and the secrets.toml manifest.
 
 /// A keypair.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct KeyPair {
     /// The public half.
     pub public: PublicKey,

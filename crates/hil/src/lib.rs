@@ -347,6 +347,8 @@ impl Hil {
         self.check_owner(project, node)?;
         let (switch, port, name) = {
             let mut inner = self.inner.borrow_mut();
+            // lint: allow(L1-index: check_owner above rejects ids this HIL
+            // never minted)
             let n = &mut inner.nodes[node.0];
             n.owner = None;
             (n.switch, n.port, n.name.clone())
@@ -425,6 +427,8 @@ impl Hil {
         let vlan = self.network_vlan(project, net)?;
         let (switch, port, name) = {
             let inner = self.inner.borrow();
+            // lint: allow(L1-index: check_owner above rejects ids this HIL
+            // never minted)
             let n = &inner.nodes[node.0];
             (n.switch, n.port, n.name.clone())
         };
@@ -439,6 +443,8 @@ impl Hil {
         self.check_owner(project, node)?;
         let (switch, port, name) = {
             let inner = self.inner.borrow();
+            // lint: allow(L1-index: check_owner above rejects ids this HIL
+            // never minted)
             let n = &inner.nodes[node.0];
             (n.switch, n.port, n.name.clone())
         };
@@ -452,6 +458,8 @@ impl Hil {
     /// so tenants can never reach the BMC network directly).
     pub fn power_cycle(&self, project: &str, node: NodeId) -> Result<(), HilError> {
         self.check_owner(project, node)?;
+        // lint: allow(L1-index: check_owner above rejects ids this HIL
+        // never minted)
         let bmc = self.inner.borrow().nodes[node.0].bmc.clone();
         if let Some(bmc) = bmc {
             bmc.power_cycle()?;
@@ -464,6 +472,8 @@ impl Hil {
     /// BMC power-off.
     pub fn power_off(&self, project: &str, node: NodeId) -> Result<(), HilError> {
         self.check_owner(project, node)?;
+        // lint: allow(L1-index: check_owner above rejects ids this HIL
+        // never minted)
         let bmc = self.inner.borrow().nodes[node.0].bmc.clone();
         if let Some(bmc) = bmc {
             bmc.power_off()?;

@@ -149,6 +149,9 @@ impl Agent {
         let (ek, aik) = self.machine.with_tpm(|t| {
             (
                 t.ek_pub().clone(),
+                // lint: allow(L1-panic: start() unconditionally creates the
+                // AIK before an Agent value exists; absence is a
+                // constructor bug, not a runtime condition)
                 t.aik_pub().expect("AIK created in start()").clone(),
             )
         });
@@ -287,6 +290,7 @@ impl Agent {
 mod tests {
     use super::*;
     use bolted_crypto::prime::XorShiftSource;
+    use bolted_crypto::secret::Secret;
     use bolted_crypto::sha256::sha256;
     use bolted_firmware::{FirmwareKind, FirmwareSource};
     use bolted_tpm::index;
@@ -395,7 +399,7 @@ mod tests {
                     kernel_digest: sha256(b"k"),
                     kernel_size: 1,
                     cmdline: String::new(),
-                    luks_passphrase: b"pw".to_vec(),
+                    luks_passphrase: Secret::named("luks_passphrase", b"pw".to_vec()),
                     ipsec_psk: b"psk".to_vec(),
                     script: String::new(),
                 };
@@ -406,7 +410,10 @@ mod tests {
                 // With U first, V completes the key.
                 agent.deliver_u(u);
                 assert!(agent.deliver_v_and_payload(v, &sealed));
-                assert_eq!(agent.payload().expect("payload").luks_passphrase, b"pw");
+                assert_eq!(
+                    agent.payload().expect("payload").luks_passphrase.expose(),
+                    b"pw"
+                );
             }
         });
     }
@@ -419,7 +426,7 @@ mod tests {
             let (sim2, m) = (sim.clone(), m.clone());
             async move {
                 let agent = booted_agent(&sim2, &m).await;
-                agent.deliver_u(KeyShare([1; 32]));
+                agent.deliver_u(KeyShare::new([1; 32]));
                 agent.revoke();
                 assert!(agent.is_revoked());
                 assert!(agent.payload().is_none());
@@ -471,7 +478,7 @@ mod seal_tests {
             async move { boot(&sim2, &m).await }
         });
         assert!(!agent.seal_bootstrap(), "no key yet");
-        agent.deliver_u(KeyShare([1; 32]));
+        agent.deliver_u(KeyShare::new([1; 32]));
         assert!(!agent.seal_bootstrap(), "still missing V");
     }
 

@@ -12,41 +12,62 @@
 use bolted_crypto::aead::{Aead, AeadError};
 use bolted_crypto::chacha20::{Key, KEY_LEN};
 use bolted_crypto::prime::RandomSource;
+use bolted_crypto::secret::Secret;
 use bolted_crypto::sha256::Digest;
 
 /// Half of a split bootstrap key.
-#[derive(Clone, PartialEq, Eq)]
-pub struct KeyShare(pub [u8; KEY_LEN]);
+///
+/// Backed by [`Secret`], so a share zeroizes when dropped, cannot be
+/// `Debug`/`Display`-formatted at all, and every read of its bytes goes
+/// through the counted [`KeyShare::expose`].
+#[derive(Clone)]
+pub struct KeyShare(Secret<[u8; KEY_LEN]>);
 
-impl std::fmt::Debug for KeyShare {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "KeyShare(****)")
+impl KeyShare {
+    /// Wraps raw share bytes.
+    pub fn new(bytes: [u8; KEY_LEN]) -> KeyShare {
+        KeyShare(Secret::named("key_share", bytes))
+    }
+
+    /// The share bytes; counted as a `key_share` exposure.
+    pub fn expose(&self) -> &[u8; KEY_LEN] {
+        self.0.expose()
     }
 }
+
+impl PartialEq for KeyShare {
+    fn eq(&self, other: &Self) -> bool {
+        // Constant-time, inside the wrapper: not an exposure.
+        self.0.ct_eq(&other.0)
+    }
+}
+
+impl Eq for KeyShare {}
 
 /// Splits `k` into two shares whose XOR is `k`.
 pub fn split_key(k: &Key, rng: &mut dyn RandomSource) -> (KeyShare, KeyShare) {
     let mut v = [0u8; KEY_LEN];
     rng.fill_bytes(&mut v);
     let mut u = [0u8; KEY_LEN];
-    for (i, b) in u.iter_mut().enumerate() {
-        *b = k.0[i] ^ v[i];
+    for ((b, &kb), &vb) in u.iter_mut().zip(k.0.iter()).zip(v.iter()) {
+        *b = kb ^ vb;
     }
-    (KeyShare(u), KeyShare(v))
+    (KeyShare::new(u), KeyShare::new(v))
 }
 
 /// Recombines the two shares into the bootstrap key.
 pub fn combine_key(u: &KeyShare, v: &KeyShare) -> Key {
     let mut k = [0u8; KEY_LEN];
-    for (i, b) in k.iter_mut().enumerate() {
-        *b = u.0[i] ^ v.0[i];
+    let (us, vs) = (u.expose(), v.expose());
+    for ((b, &ub), &vb) in k.iter_mut().zip(us.iter()).zip(vs.iter()) {
+        *b = ub ^ vb;
     }
     Key(k)
 }
 
 /// The decrypted content of the tenant's provisioning payload (the
 /// paper's "encrypted zip file").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct TenantPayload {
     /// Kernel identifier.
     pub kernel_name: String,
@@ -56,13 +77,42 @@ pub struct TenantPayload {
     pub kernel_size: u64,
     /// Kernel command line.
     pub cmdline: String,
-    /// LUKS passphrase for the node's encrypted root volume.
-    pub luks_passphrase: Vec<u8>,
+    /// LUKS passphrase for the node's encrypted root volume; zeroized on
+    /// drop and readable only through a counted `expose()`.
+    pub luks_passphrase: Secret<Vec<u8>>,
     /// Pre-shared key for the enclave's IPsec mesh.
     pub ipsec_psk: Vec<u8>,
     /// The post-attestation script the agent executes.
     pub script: String,
 }
+
+impl std::fmt::Debug for TenantPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantPayload")
+            .field("kernel_name", &self.kernel_name)
+            .field("kernel_digest", &self.kernel_digest)
+            .field("kernel_size", &self.kernel_size)
+            .field("cmdline", &self.cmdline)
+            .field("luks_passphrase", &"<redacted>")
+            .field("ipsec_psk", &"<redacted>")
+            .field("script", &self.script)
+            .finish()
+    }
+}
+
+impl PartialEq for TenantPayload {
+    fn eq(&self, other: &Self) -> bool {
+        self.kernel_name == other.kernel_name
+            && self.kernel_digest == other.kernel_digest
+            && self.kernel_size == other.kernel_size
+            && self.cmdline == other.cmdline
+            && self.luks_passphrase.ct_eq(&other.luks_passphrase)
+            && self.ipsec_psk == other.ipsec_psk
+            && self.script == other.script
+    }
+}
+
+impl Eq for TenantPayload {}
 
 impl TenantPayload {
     fn encode(&self) -> Vec<u8> {
@@ -75,7 +125,7 @@ impl TenantPayload {
         put(&mut out, self.kernel_digest.as_bytes());
         out.extend_from_slice(&self.kernel_size.to_le_bytes());
         put(&mut out, self.cmdline.as_bytes());
-        put(&mut out, &self.luks_passphrase);
+        put(&mut out, self.luks_passphrase.expose());
         put(&mut out, &self.ipsec_psk);
         put(&mut out, self.script.as_bytes());
         out
@@ -102,7 +152,7 @@ impl TenantPayload {
         let kernel_digest = Digest(c.take_lp()?.try_into().ok()?);
         let kernel_size = u64::from_le_bytes(c.take(8)?.try_into().ok()?);
         let cmdline = String::from_utf8(c.take_lp()?.to_vec()).ok()?;
-        let luks_passphrase = c.take_lp()?.to_vec();
+        let luks_passphrase = Secret::named("luks_passphrase", c.take_lp()?.to_vec());
         let ipsec_psk = c.take_lp()?.to_vec();
         let script = String::from_utf8(c.take_lp()?.to_vec()).ok()?;
         Some(TenantPayload {
@@ -148,7 +198,7 @@ mod tests {
             kernel_digest: sha256(b"vmlinuz"),
             kernel_size: 60 << 20,
             cmdline: "root=/dev/mapper/luks-root ima_policy=tcb".into(),
-            luks_passphrase: b"disk passphrase".to_vec(),
+            luks_passphrase: Secret::named("luks_passphrase", b"disk passphrase".to_vec()),
             ipsec_psk: b"enclave psk".to_vec(),
             script: "join_enclave && kexec".into(),
         }
@@ -160,8 +210,8 @@ mod tests {
         let k = Key([7u8; 32]);
         let (u, v) = split_key(&k, &mut rng);
         assert_eq!(combine_key(&u, &v), k);
-        assert_ne!(u.0, k.0, "U alone is not the key");
-        assert_ne!(v.0, k.0, "V alone is not the key");
+        assert_ne!(*u.expose(), k.0, "U alone is not the key");
+        assert_ne!(*v.expose(), k.0, "V alone is not the key");
     }
 
     #[test]
@@ -170,7 +220,7 @@ mod tests {
         let k = Key([7u8; 32]);
         let (u1, _) = split_key(&k, &mut rng);
         let (u2, _) = split_key(&k, &mut rng);
-        assert_ne!(u1.0, u2.0);
+        assert_ne!(u1.expose(), u2.expose());
     }
 
     #[test]
@@ -179,8 +229,8 @@ mod tests {
         let k = Key([9u8; 32]);
         let (u, v) = split_key(&k, &mut rng);
         let sealed = payload().seal(&k);
-        assert!(TenantPayload::open(&sealed, &Key(u.0)).is_err());
-        assert!(TenantPayload::open(&sealed, &Key(v.0)).is_err());
+        assert!(TenantPayload::open(&sealed, &Key(*u.expose())).is_err());
+        assert!(TenantPayload::open(&sealed, &Key(*v.expose())).is_err());
         assert_eq!(
             TenantPayload::open(&sealed, &combine_key(&u, &v)).expect("opens"),
             payload()
@@ -216,6 +266,46 @@ mod tests {
         let p = payload();
         assert!(p.wire_size() > p.kernel_size);
         assert!(p.wire_size() < p.kernel_size + 4096);
+    }
+
+    // Compile-time trait-absence probe (same trick as in
+    // `bolted_crypto::secret`): inherent method resolves first when the
+    // probed type implements Debug, the trait fallback answers otherwise.
+    // Guards the acceptance invariant that a `KeyShare` can never be
+    // debug-formatted, even via a containing type's derive.
+    struct Probe<T>(std::marker::PhantomData<T>);
+    impl<T: std::fmt::Debug> Probe<T> {
+        fn is_debug(&self) -> bool {
+            true
+        }
+    }
+    trait ProbeFallback {
+        fn is_debug(&self) -> bool {
+            false
+        }
+    }
+    impl<T> ProbeFallback for Probe<T> {}
+
+    #[test]
+    fn key_share_is_not_debug() {
+        assert!(Probe::<Key>(std::marker::PhantomData).is_debug());
+        assert!(!Probe::<KeyShare>(std::marker::PhantomData).is_debug());
+        assert!(!Probe::<Option<KeyShare>>(std::marker::PhantomData).is_debug());
+    }
+
+    #[test]
+    fn share_exposure_is_counted() {
+        use bolted_crypto::secret::expose_count;
+        let mut rng = XorShiftSource::new(3);
+        let k = Key([1u8; 32]);
+        let (u, v) = split_key(&k, &mut rng);
+        let before = expose_count("key_share");
+        let _ = combine_key(&u, &v);
+        // combine_key reads each share exactly once.
+        assert_eq!(expose_count("key_share") - before, 2);
+        // Equality is constant-time inside the wrapper, not an exposure.
+        assert!(u != v);
+        assert_eq!(expose_count("key_share") - before, 2);
     }
 
     #[test]

@@ -347,6 +347,9 @@ impl Verifier {
             if i == index::IMA {
                 evidence.ima_log.replay_pcr()
             } else {
+                // lint: allow(L1-index: selection equals the verifier's own
+                // configured PCR list (checked above), whose indices are
+                // bounded by the TPM's PCR count)
                 boot_pcrs[i]
             }
         });
@@ -530,24 +533,22 @@ impl Verifier {
                 );
                 let deliver = {
                     let mut inner = self.inner.borrow_mut();
-                    let node = inner.nodes.get_mut(&node_id).expect("checked above");
-                    // Revocation is sticky: a concurrent round may have
-                    // failed this node between our verification and this
-                    // update, and a late success must not un-revoke it.
-                    if !matches!(node.status, NodeStatus::Failed(_)) {
-                        node.status = NodeStatus::Trusted;
-                    }
-                    node.quotes_verified.fetch_add(1, Ordering::Relaxed);
-                    if !node.bootstrapped && node.v_share.is_some() {
+                    inner.nodes.get_mut(&node_id).and_then(|node| {
+                        // Revocation is sticky: a concurrent round may
+                        // have failed this node between our verification
+                        // and this update, and a late success must not
+                        // un-revoke it.
+                        if !matches!(node.status, NodeStatus::Failed(_)) {
+                            node.status = NodeStatus::Trusted;
+                        }
+                        node.quotes_verified.fetch_add(1, Ordering::Relaxed);
+                        if node.bootstrapped {
+                            return None;
+                        }
+                        let v = node.v_share.clone()?;
                         node.bootstrapped = true;
-                        Some((
-                            node.v_share.clone().expect("checked"),
-                            node.sealed_payload.clone(),
-                            node.payload_wire_bytes,
-                        ))
-                    } else {
-                        None
-                    }
+                        Some((v, node.sealed_payload.clone(), node.payload_wire_bytes))
+                    })
                 };
                 if let Some((v, sealed, wire)) = deliver {
                     // Payload download (kernel + initrd dominate).
@@ -718,8 +719,13 @@ fn verify_quote_batch_parallel(jobs: &[Option<(Quote, PublicKey)>]) -> Vec<Optio
             })
             .collect();
         for worker in workers {
+            // lint: allow(L1-panic: a panicked verify worker means a bug in
+            // the signature code itself; propagating the panic is the only
+            // sound option)
             for (i, ok) in worker.join().expect("verify worker panicked") {
-                out[i] = Some(ok);
+                if let Some(slot) = out.get_mut(i) {
+                    *slot = Some(ok);
+                }
             }
         }
     });
@@ -733,6 +739,7 @@ mod tests {
     use crate::payload::{split_key, TenantPayload};
     use bolted_crypto::chacha20::Key;
     use bolted_crypto::prime::XorShiftSource;
+    use bolted_crypto::secret::Secret;
     use bolted_firmware::{FirmwareKind, FirmwareSource, KernelImage, Machine};
 
     struct Rig {
@@ -869,7 +876,7 @@ mod tests {
             kernel_digest: kernel.digest,
             kernel_size: 1 << 20,
             cmdline: "quiet".into(),
-            luks_passphrase: b"pw".to_vec(),
+            luks_passphrase: Secret::named("luks_passphrase", b"pw".to_vec()),
             ipsec_psk: b"psk".to_vec(),
             script: "kexec".into(),
         };
@@ -904,7 +911,7 @@ mod tests {
         });
         assert_eq!(got.0, AttestOutcome::Trusted);
         let p = got.1.expect("payload delivered after attestation");
-        assert_eq!(p.luks_passphrase, b"pw");
+        assert_eq!(p.luks_passphrase.expose(), b"pw");
         assert_eq!(p.ipsec_psk, b"psk");
     }
 
@@ -1186,6 +1193,7 @@ mod delivery_tests {
     use crate::payload::{split_key, TenantPayload};
     use bolted_crypto::chacha20::Key;
     use bolted_crypto::prime::XorShiftSource;
+    use bolted_crypto::secret::Secret;
     use bolted_crypto::sha256::sha256;
     use bolted_firmware::{FirmwareKind, FirmwareSource, Machine};
 
@@ -1227,7 +1235,7 @@ mod delivery_tests {
                     kernel_digest: sha256(b"k"),
                     kernel_size: 1,
                     cmdline: String::new(),
-                    luks_passphrase: b"pw".to_vec(),
+                    luks_passphrase: Secret::named("luks_passphrase", b"pw".to_vec()),
                     ipsec_psk: Vec::new(),
                     script: String::new(),
                 };

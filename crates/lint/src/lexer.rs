@@ -1,0 +1,309 @@
+//! A minimal Rust lexer: just enough token structure for shallow
+//! static analysis, none of the grammar.
+//!
+//! The lexer's one job is to make the rules in [`crate::rules`] immune
+//! to the classic grep failure modes: panics mentioned inside string
+//! literals, `unwrap` in a doc comment, `[` that opens an attribute
+//! rather than an index expression. It understands comments (nested
+//! block comments included), all the string flavors (`"…"`, `r#"…"#`,
+//! `b"…"`, `br#"…"#`), char-vs-lifetime disambiguation, and flat
+//! number/identifier/punctuation tokens. It deliberately does *not*
+//! parse expressions — rules pattern-match on the token stream.
+
+/// One lexed token's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'a` (or a loop label).
+    Lifetime,
+    /// A character literal.
+    Char,
+    /// A string or byte-string literal; the cooked content (escapes
+    /// left verbatim — rules only substring-scan it).
+    Str(String),
+    /// A numeric literal (integers, floats lex as two numbers + `.`).
+    Number,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+}
+
+/// Lexes `src` into a token stream, discarding comments.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (s, ni, nl) = cooked_string(&b, i, line);
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Disambiguate char literal from lifetime: 'x' / '\n' are
+                // chars; 'a (no closing quote right after one char) is a
+                // lifetime or loop label.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    let mut j = i + 2;
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    out.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Number,
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let word: String = b[i..j].iter().collect();
+                // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb")
+                    && j < n
+                    && (b[j] == '"' || (b[j] == '#' && word.contains('r')));
+                if is_str_prefix {
+                    let raw = word.contains('r');
+                    if raw {
+                        let (s, ni, nl) = raw_string(&b, j, line);
+                        out.push(Token {
+                            tok: Tok::Str(s),
+                            line,
+                        });
+                        i = ni;
+                        line = nl;
+                    } else {
+                        let (s, ni, nl) = cooked_string(&b, j, line);
+                        out.push(Token {
+                            tok: Tok::Str(s),
+                            line,
+                        });
+                        i = ni;
+                        line = nl;
+                    }
+                } else {
+                    out.push(Token {
+                        tok: Tok::Ident(word),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ => {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"…"` literal starting at the opening quote; returns
+/// (content, next index, next line).
+fn cooked_string(b: &[char], start: usize, mut line: u32) -> (String, usize, u32) {
+    let n = b.len();
+    let mut i = start + 1;
+    let mut s = String::new();
+    while i < n {
+        match b[i] {
+            '\\' if i + 1 < n => {
+                s.push(b[i]);
+                s.push(b[i + 1]);
+                if b[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (s, i + 1, line),
+            '\n' => {
+                s.push('\n');
+                line += 1;
+                i += 1;
+            }
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, n, line)
+}
+
+/// Consumes a raw string starting at the `#`s or the quote; returns
+/// (content, next index, next line).
+fn raw_string(b: &[char], start: usize, mut line: u32) -> (String, usize, u32) {
+    let n = b.len();
+    let mut i = start;
+    let mut hashes = 0;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < n && b[i] == '"' {
+        i += 1;
+    }
+    let mut s = String::new();
+    while i < n {
+        if b[i] == '"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return (s, i + 1 + hashes, line);
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        s.push(b[i]);
+        i += 1;
+    }
+    (s, n, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = lex("// unwrap in a comment\nlet s = \"x.unwrap()\"; /* .expect( */ y");
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, vec!["let", "s", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ z");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("z"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r##"let a = r#"raw "inner" text"#; let c = b"bytes";"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["raw \"inner\" text", "bytes"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("let c = 'a'; fn f<'a>(x: &'a str) {} let nl = '\\n';");
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Findings and their renderings (terminal lines + machine JSON).
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id, e.g. `L1-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// `path:line [rule] message` — the terminal format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{} [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings by (path, line, rule) for deterministic output.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+/// Serialises findings as the `lint_report.json` document: per-rule
+/// counts plus the full finding list, with deterministic key order.
+pub fn to_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut by_rule: Vec<(&'static str, u32)> = Vec::new();
+    for f in findings {
+        match by_rule.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule, 1)),
+        }
+    }
+    by_rule.sort();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str("  \"by_rule\": {");
+    for (i, (rule, n)) in by_rule.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{rule}\": {n}"));
+    }
+    out.push_str(if by_rule.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            f.rule,
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let findings = vec![
+            Finding::new("L1-panic", "a.rs", 3, "call to \"unwrap\"".to_string()),
+            Finding::new("L1-panic", "b.rs", 1, "x".to_string()),
+        ];
+        let j = to_json(&findings, 2);
+        assert!(j.contains("\"total\": 2"));
+        assert!(j.contains("\"L1-panic\": 2"));
+        assert!(j.contains("call to \\\"unwrap\\\""));
+        let empty = to_json(&[], 5);
+        assert!(empty.contains("\"total\": 0"));
+        assert!(empty.contains("\"findings\": []"));
+    }
+}

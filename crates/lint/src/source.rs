@@ -1,0 +1,438 @@
+//! Per-file analysis state: tokens, `#[cfg(test)]` regions, and the
+//! `// lint:` directive table.
+
+use crate::lexer::{lex, Tok, Token};
+
+/// What a `// lint:` comment asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(RULE: reason)` — suppress `RULE` (prefix match) on the
+    /// statement this comment annotates.
+    Allow { rule: String },
+    /// `allow-file(RULE: reason)` — suppress `RULE` in the whole file.
+    AllowFile { rule: String },
+    /// `op(name)` — declares that the annotated service-trait method is
+    /// instrumented under fault/metrics op `name`.
+    Op { name: String },
+    /// Anything after `// lint:` that did not parse, or an `allow`
+    /// without a non-empty reason. Reported as `L0-directive`.
+    Malformed { why: &'static str },
+}
+
+/// One parsed directive and where it sits.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub kind: DirectiveKind,
+    /// First line of the comment (1-indexed).
+    pub line: u32,
+    /// Last line, > `line` when the directive text wraps onto
+    /// continuation comment lines.
+    pub end_line: u32,
+    /// True when code precedes the comment on its first line, i.e. the
+    /// directive annotates its own line rather than the one below.
+    pub trailing: bool,
+}
+
+/// A source file prepared for rule passes.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub lines: Vec<String>,
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` — token `i` sits inside `#[cfg(test)]`/`#[test]`
+    /// gated code and is invisible to the rules.
+    pub test_mask: Vec<bool>,
+    pub directives: Vec<Directive>,
+}
+
+impl SourceFile {
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let test_mask = mark_test_regions(&tokens);
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let directives = parse_directives(&lines);
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            tokens,
+            test_mask,
+            directives,
+        }
+    }
+
+    /// True when a finding of `rule` at `line` is silenced by an
+    /// `allow`/`allow-file` directive.
+    ///
+    /// An `allow` comment annotates the statement below it, so the check
+    /// walks upward from the finding: over comment and attribute lines,
+    /// and over continuation lines of the same statement (a line that
+    /// does not end in `;`, `{` or `}` has its statement head further
+    /// up). The walk stops at the first line that ends a statement —
+    /// a directive above *that* belongs to someone else.
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        let matches = |d: &Directive| match &d.kind {
+            DirectiveKind::Allow { rule: r } => rule.starts_with(r.as_str()),
+            _ => false,
+        };
+        for d in &self.directives {
+            if let DirectiveKind::AllowFile { rule: r } = &d.kind {
+                if rule.starts_with(r.as_str()) {
+                    return true;
+                }
+            }
+            // Trailing directive on the finding's own line.
+            if d.trailing && d.line == line && matches(d) {
+                return true;
+            }
+        }
+        // Walk upward from the finding line.
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let idx = (l - 1) as usize;
+            let Some(raw) = self.lines.get(idx) else {
+                break;
+            };
+            let t = strip_trailing_comment(raw).trim().to_string();
+            if t.is_empty() && raw.trim().is_empty() {
+                break; // blank line: annotation context ends
+            }
+            if raw.trim_start().starts_with("//") {
+                if self
+                    .directives
+                    .iter()
+                    .any(|d| !d.trailing && d.line <= l && l <= d.end_line && matches(d))
+                {
+                    return true;
+                }
+                l -= 1;
+                continue;
+            }
+            if t.starts_with("#[") || t.starts_with("#!") {
+                l -= 1;
+                continue;
+            }
+            // A code line. If it closes a statement, the walk is over;
+            // otherwise the finding is on a continuation of it and the
+            // annotation may sit above the statement head.
+            if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+                break;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// Directives annotating the item whose first code line is `line`
+    /// (walks up over comments, doc comments and attributes only).
+    pub fn directives_above(&self, line: u32) -> Vec<&Directive> {
+        let mut found = Vec::new();
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let idx = (l - 1) as usize;
+            let Some(raw) = self.lines.get(idx) else {
+                break;
+            };
+            let t = raw.trim_start();
+            if t.starts_with("//") {
+                found.extend(
+                    self.directives
+                        .iter()
+                        .filter(|d| !d.trailing && d.line <= l && l <= d.end_line),
+                );
+                l -= 1;
+            } else if t.starts_with("#[") {
+                l -= 1;
+            } else {
+                break;
+            }
+        }
+        found.dedup_by(|a, b| a.line == b.line);
+        found
+    }
+}
+
+/// Drops a trailing `// …` comment (best-effort: ignores `//` inside
+/// string literals only when quotes are balanced before it).
+fn strip_trailing_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Scans raw lines for `// lint:` comments. A directive whose
+/// parentheses stay unbalanced at end-of-line continues across
+/// directly-following `//` comment lines.
+fn parse_directives(lines: &[String]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let raw = &lines[i];
+        let Some(pos) = raw.find("// lint:") else {
+            i += 1;
+            continue;
+        };
+        let trailing = !raw[..pos].trim().is_empty();
+        let mut text = raw[pos + "// lint:".len()..].trim().to_string();
+        let start_line = (i + 1) as u32;
+        let mut end = i;
+        // Continuation: consume following pure-comment lines while the
+        // directive's parens are unbalanced.
+        while paren_balance(&text) > 0 && end + 1 < lines.len() {
+            let next = lines[end + 1].trim_start();
+            let Some(rest) = next.strip_prefix("//") else {
+                break;
+            };
+            text.push(' ');
+            text.push_str(rest.trim());
+            end += 1;
+        }
+        out.push(Directive {
+            kind: parse_directive_text(&text),
+            line: start_line,
+            end_line: (end + 1) as u32,
+            trailing,
+        });
+        i = end + 1;
+    }
+    out
+}
+
+fn paren_balance(s: &str) -> i32 {
+    let mut d = 0;
+    for c in s.chars() {
+        if c == '(' {
+            d += 1;
+        } else if c == ')' {
+            d -= 1;
+        }
+    }
+    d
+}
+
+fn parse_directive_text(text: &str) -> DirectiveKind {
+    for (prefix, file_scope) in [("allow-file(", true), ("allow(", false)] {
+        if let Some(rest) = text.strip_prefix(prefix) {
+            let Some(body) = rest.strip_suffix(')') else {
+                return DirectiveKind::Malformed {
+                    why: "unclosed allow(...)",
+                };
+            };
+            let Some((rule, reason)) = body.split_once(':') else {
+                return DirectiveKind::Malformed {
+                    why: "allow needs `RULE: reason`",
+                };
+            };
+            let rule = rule.trim();
+            if rule.is_empty() || !rule.starts_with('L') {
+                return DirectiveKind::Malformed {
+                    why: "allow rule must be a lint rule id",
+                };
+            }
+            if reason.trim().is_empty() {
+                return DirectiveKind::Malformed {
+                    why: "allow reason must not be empty",
+                };
+            }
+            return if file_scope {
+                DirectiveKind::AllowFile {
+                    rule: rule.to_string(),
+                }
+            } else {
+                DirectiveKind::Allow {
+                    rule: rule.to_string(),
+                }
+            };
+        }
+    }
+    if let Some(rest) = text.strip_prefix("op(") {
+        let Some(name) = rest.strip_suffix(')') else {
+            return DirectiveKind::Malformed {
+                why: "unclosed op(...)",
+            };
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return DirectiveKind::Malformed {
+                why: "op name must not be empty",
+            };
+        }
+        return DirectiveKind::Op {
+            name: name.to_string(),
+        };
+    }
+    DirectiveKind::Malformed {
+        why: "expected allow(...), allow-file(...) or op(...)",
+    }
+}
+
+/// Marks tokens gated behind `#[cfg(test)]` / `#[test]` (and friends)
+/// so rules skip them. `#[cfg(not(test))]` is production code and is
+/// not masked.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Inner attributes `#![…]` never gate an item here.
+        let Some(open) = tokens.get(i + 1) else {
+            break;
+        };
+        if !open.is_punct('[') {
+            i += 1;
+            continue;
+        }
+        let close = match matching(tokens, i + 1, '[', ']') {
+            Some(c) => c,
+            None => break,
+        };
+        if attr_is_test_gate(&tokens[i + 2..close]) {
+            // Skip any stacked attributes after this one.
+            let mut j = close + 1;
+            while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+                match matching(tokens, j + 1, '[', ']') {
+                    Some(c) => j = c + 1,
+                    None => break,
+                }
+            }
+            // The gated item extends to its closing `}` (mod/fn/impl) or
+            // to `;` (use/static) — whichever comes first at depth 0.
+            let mut k = j;
+            let mut end = tokens.len();
+            while k < tokens.len() {
+                if tokens[k].is_punct(';') {
+                    end = k + 1;
+                    break;
+                }
+                if tokens[k].is_punct('{') {
+                    end = matching(tokens, k, '{', '}').map_or(tokens.len(), |c| c + 1);
+                    break;
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = end;
+        } else {
+            i = close + 1;
+        }
+    }
+    mask
+}
+
+/// True when an attribute's tokens gate code to test builds: `test`,
+/// `cfg(test)`, `cfg(any(test, …))` — but not `cfg(not(test))`.
+fn attr_is_test_gate(attr: &[Token]) -> bool {
+    for (k, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            let negated = k >= 2 && attr[k - 1].is_punct('(') && attr[k - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+pub fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if let Tok::Punct(c) = t.tok {
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_masked_but_not_cfg_not_test() {
+        let f = SourceFile::new(
+            "x.rs",
+            "fn live() { a.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\n\
+             #[cfg(not(test))]\nfn also_live() { c.unwrap(); }\n",
+        );
+        let visible: Vec<_> = f
+            .tokens
+            .iter()
+            .zip(&f.test_mask)
+            .filter(|(_, m)| !**m)
+            .filter_map(|(t, _)| t.ident())
+            .collect();
+        assert!(visible.contains(&"live"));
+        assert!(visible.contains(&"also_live"));
+        assert!(visible.contains(&"c"));
+        assert!(!visible.contains(&"b"));
+    }
+
+    #[test]
+    fn directive_parse_and_continuation() {
+        let f = SourceFile::new(
+            "x.rs",
+            "// lint: allow(L1-panic: reason spans\n\
+             // two comment lines)\n\
+             x.expect(\"y\");\n\
+             z(); // lint: allow(L2: trailing)\n\
+             // lint: allow(L1-panic)\n",
+        );
+        assert_eq!(f.directives.len(), 3);
+        assert_eq!(f.directives[0].end_line, 2);
+        assert!(f.is_suppressed("L1-panic", 3));
+        assert!(f.directives[1].trailing);
+        assert!(f.is_suppressed("L2-derive", 4));
+        assert!(matches!(
+            f.directives[2].kind,
+            DirectiveKind::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn suppression_walks_over_statement_continuations() {
+        let f = SourceFile::new(
+            "x.rs",
+            "// lint: allow(L1-panic: build-time)\n\
+             hil.set_node_ek(node, key)\n\
+                 .expect(\"node exists\");\n\
+             other.expect(\"not covered\");\n",
+        );
+        assert!(f.is_suppressed("L1-panic", 3));
+        assert!(!f.is_suppressed("L1-panic", 4));
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let f = SourceFile::new(
+            "x.rs",
+            "// lint: allow-file(L1-index: ids are dense)\n\nfn f() { v[0]; }\n",
+        );
+        assert!(f.is_suppressed("L1-index", 3));
+        assert!(!f.is_suppressed("L1-panic", 3));
+    }
+}

@@ -8,6 +8,10 @@
 //! exactly the isolation property tenants rely on (§5, "HIL controls the
 //! network switches ... and provides VLAN-based network isolation").
 
+// lint: allow-file(L1-index: switches, hosts and ports live in Vecs
+// indexed by ids this module mints and never recycles; an id cannot
+// outlive the fabric that created it, so indexing is total)
+
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;

@@ -1,5 +1,9 @@
 //! An iperf-style throughput measurement harness (paper Figure 3b).
 
+// lint: allow-file(L1-panic: standalone measurement harness; it builds
+// its own two-host fixture, so a failed attach/vlan call is a programming
+// error in this file, not a runtime condition)
+
 use bolted_crypto::cost::CipherSuite;
 use bolted_sim::Sim;
 

@@ -6,6 +6,10 @@
 //! by Keylime during attestation and bound to the node, exactly as the
 //! paper describes.
 
+// lint: allow-file(L1-index: ESP framing slices fixed-size buffers —
+// 64-byte HKDF output, 8-byte sequence prefixes checked against
+// packet.len() before use — with compile-time-constant bounds)
+
 use bolted_crypto::aead::{Aead, AeadError};
 use bolted_crypto::chacha20::Key;
 use bolted_crypto::cost::{CipherCost, CipherSuite};

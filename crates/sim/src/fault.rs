@@ -47,6 +47,12 @@ pub mod ops {
     pub const REGISTRAR_REGISTER: &str = "registrar.register";
     /// Verifier quote round-trip (target: node id).
     pub const VERIFIER_QUOTE: &str = "verifier.quote";
+    /// BMI image clone for one server (target: server name).
+    pub const BMI_CLONE: &str = "bmi.clone_for_server";
+    /// BMI boot-info extraction from an image manifest (target: image).
+    pub const BMI_BOOT_INFO: &str = "bmi.extract_boot_info";
+    /// BMI root-volume release on deprovision (target: image).
+    pub const BMI_RELEASE: &str = "bmi.release";
 }
 
 /// What can go wrong with one class of operation.

@@ -32,7 +32,7 @@ pub use fault::{FaultDecision, FaultInjected, FaultPlan, FaultSpec, Faults};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use retry::{retry, retry_if, retry_if_observed, with_timeout, RetryError, RetryPolicy};
 pub use rng::{Rng, SplitMix64};
-pub use span::{SpanId, SpanRecord, Spans};
+pub use span::{SpanGuard, SpanId, SpanRecord, Spans};
 pub use stats::{OnlineStats, Samples};
 pub use sync::{channel, Acquire, Event, EventWait, Permit, Receiver, Recv, Resource, Sender};
 pub use time::{SimDuration, SimTime};

@@ -167,6 +167,25 @@ impl Spans {
         id
     }
 
+    /// Opens a span whose close is tied to the returned guard's drop —
+    /// the RAII alternative to a manual [`Spans::end`] for scopes with
+    /// early returns. Lint rule L4 treats a guard-held span as closed on
+    /// all paths by construction.
+    pub fn guard(
+        &self,
+        sim: &Sim,
+        category: &'static str,
+        name: &'static str,
+        target: &str,
+    ) -> SpanGuard {
+        let id = self.begin(sim, category, name, target);
+        SpanGuard {
+            spans: self.clone(),
+            sim: sim.clone(),
+            id,
+        }
+    }
+
     /// Attaches (or overwrites) an attribute on an open or closed span.
     pub fn attr(&self, id: SpanId, key: &'static str, value: impl Into<String>) {
         if id.is_none() {
@@ -312,9 +331,63 @@ impl Spans {
     }
 }
 
+/// Ends its span when dropped; created by [`Spans::guard`].
+///
+/// The span can still be decorated or closed early through [`SpanGuard::id`]
+/// — [`Spans::end`] keeps the first close, so the drop becomes a no-op.
+pub struct SpanGuard {
+    spans: Spans,
+    sim: Sim,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// The guarded span's id, for attaching attributes.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.spans.end(&self.sim, self.id);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn guard_closes_span_on_drop_even_on_early_return() {
+        let sim = Sim::new();
+        let sp = Spans::new();
+        fn scope(sim: &Sim, sp: &Spans, bail: bool) -> Option<u32> {
+            let g = sp.guard(sim, "tenant", "guarded", "n1");
+            sp.attr(g.id(), "mode", if bail { "bail" } else { "run" });
+            if bail {
+                return None;
+            }
+            Some(1)
+        }
+        assert_eq!(scope(&sim, &sp, true), None);
+        let rec = sp.find("guarded", "n1").expect("span recorded");
+        assert!(rec.is_closed(), "guard closed the span on the early return");
+        assert_eq!(rec.attr("mode"), Some("bail"));
+    }
+
+    #[test]
+    fn guard_drop_is_noop_after_manual_close() {
+        let sim = Sim::new();
+        let sp = Spans::new();
+        let first_end = {
+            let g = sp.guard(&sim, "tenant", "manual", "n1");
+            sp.end(&sim, g.id());
+            sp.find("manual", "n1").and_then(|r| r.end_seq)
+        };
+        // The drop after the manual end kept the first close.
+        assert_eq!(sp.find("manual", "n1").and_then(|r| r.end_seq), first_end);
+    }
 
     #[test]
     fn nesting_is_inferred_per_target() {

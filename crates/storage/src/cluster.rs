@@ -7,6 +7,10 @@
 //! scale Ceph deployment (with only 27 disks)" — emerges from the
 //! per-spindle FIFO queues, not from any baked-in constant.
 
+// lint: allow-file(L1-index: object content generation and placement
+// slice buffers whose bounds are min()-clamped against object_size at
+// every call site; indices derive from digests reduced modulo pool size)
+
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -327,6 +331,9 @@ impl Cluster {
         };
         if let Some(backing) = need_backing {
             let base = self.generate(key, backing, 0, object_size);
+            // lint: allow(L1-panic: the entry was inserted by the
+            // borrow-scoped block above; two borrows cannot interleave on
+            // a single-threaded Rc<RefCell>)
             self.inner
                 .borrow_mut()
                 .objects
@@ -335,7 +342,9 @@ impl Cluster {
                 .data = Some(base);
         }
         let mut inner = self.inner.borrow_mut();
+        // lint: allow(L1-panic: same single-threaded insert-above invariant)
         let obj = inner.objects.get_mut(&key).expect("exists");
+        // lint: allow(L1-panic: the need_backing arm above materialised it)
         let buf = obj.data.as_mut().expect("materialised above");
         let end = ((off as usize) + data.len()).min(object_size);
         let start = (off as usize).min(end);
@@ -401,6 +410,9 @@ impl Cluster {
             inner.requests += 1;
         }
         let placement = self.placement(key);
+        // lint: allow(L1-panic: documented API contract — callers running
+        // failure-injection scenarios must check Cluster::is_available
+        // first; see the method doc)
         let primary = *placement
             .first()
             .expect("no live replica for object (all OSDs failed)");

@@ -169,6 +169,8 @@ impl ImageStore {
             },
         );
         inner.by_name.insert(name, id);
+        // lint: allow(L1-panic: parent presence and frozen-ness were
+        // checked at the top of this fn under the same RefCell borrow)
         inner
             .images
             .get_mut(&parent)
@@ -329,6 +331,8 @@ impl ImageStore {
                 }
             }
             self.cluster
+                // lint: allow(L1-index: take is min-clamped against
+                // data.len() - written at the top of this loop body)
                 .write_object(own_key, within, &data[written..written + take])
                 .await;
             pos += take as u64;

@@ -242,12 +242,14 @@ impl IscsiTarget {
         let end = offset + len;
         while pos < end {
             // Already in the current window?
-            let in_window = {
+            let window_end = {
                 let st = self.state.borrow();
-                matches!(st.window, Some((s, e)) if pos >= s && pos < e)
+                match st.window {
+                    Some((s, e)) if pos >= s && pos < e => Some(e),
+                    _ => None,
+                }
             };
-            if in_window {
-                let (_, we) = self.state.borrow().window.expect("checked");
+            if let Some(we) = window_end {
                 if we >= end {
                     break;
                 }
@@ -257,20 +259,19 @@ impl IscsiTarget {
             // Does a prefetch cover it?
             let pre = {
                 let mut st = self.state.borrow_mut();
-                match st.prefetch.front() {
-                    Some(&(s, e, _)) if pos >= s && pos < e => {
-                        Some(st.prefetch.pop_front().expect("front exists"))
-                    }
-                    Some(_) => {
+                let covers = matches!(st.prefetch.front(), Some(&(s, e, _)) if pos >= s && pos < e);
+                if covers {
+                    st.prefetch.pop_front()
+                } else {
+                    if !st.prefetch.is_empty() {
                         // Stream went elsewhere: discard stale prefetches
                         // (their I/O still completes in the background —
                         // genuinely wasted work, which we count).
                         let wasted: u64 = st.prefetch.iter().map(|(s, e, _)| e - s).sum();
                         st.wasted_prefetch += wasted;
                         st.prefetch.clear();
-                        None
                     }
-                    None => None,
+                    None
                 }
             };
             match pre {

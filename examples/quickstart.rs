@@ -63,7 +63,11 @@ fn main() {
         .payload()
         .expect("keys released after attestation");
     println!("\nKeys bootstrapped via the Keylime U/V split:");
-    println!("  LUKS passphrase: {} bytes", payload.luks_passphrase.len());
+    // Tenant-side demo code may read its own secret, but the passphrase
+    // identifier must stay out of format-macro argument lists (lint L2),
+    // so the length is taken before printing.
+    let luks_pass_bytes = payload.luks_passphrase.expose().len();
+    println!("  LUKS passphrase: {luks_pass_bytes} bytes");
     println!("  IPsec PSK:       {} bytes", payload.ipsec_psk.len());
     println!("\nLife cycle:");
     for (t, state) in provisioned.lifecycle.history() {

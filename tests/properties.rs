@@ -234,7 +234,7 @@ fn uv_split_always_recombines() {
         let (u, v) = split_key(&k, &mut rng);
         assert_eq!(combine_key(&u, &v).0, key);
         // Neither share equals the key (w.h.p. — the share is random).
-        assert!(u.0 != key || v.0 == [0u8; 32]);
+        assert!(*u.expose() != key || *v.expose() == [0u8; 32]);
     }
 }
 
@@ -250,7 +250,10 @@ fn payload_codec_round_trips() {
             kernel_digest: sha256(b"k"),
             kernel_size: g.u64(),
             cmdline,
-            luks_passphrase: g.bytes(0, 64),
+            luks_passphrase: bolted_crypto::secret::Secret::named(
+                "luks_passphrase",
+                g.bytes(0, 64),
+            ),
             ipsec_psk: g.bytes(0, 64),
             script: "kexec".into(),
         };
