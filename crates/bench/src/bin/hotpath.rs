@@ -1,13 +1,22 @@
 //! Hot-path micro-bench: JSON lines on stdout, one per measurement plus
 //! a summary speedup line per benchmark. `--quick` shrinks iteration
-//! counts so the suite fits in a test run.
+//! counts so the suite fits in a test run; `--smoke` shrinks them
+//! further for the pre-commit verify gate (seconds, sanity only).
 //!
 //! ```text
-//! cargo run --release -p bolted-bench --bin hotpath [-- --quick]
+//! cargo run --release -p bolted-bench --bin hotpath [-- --quick | --smoke]
 //! ```
 
+use bolted_bench::hotpath::Effort;
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let records = bolted_bench::hotpath::run(quick);
+    let effort = if std::env::args().any(|a| a == "--smoke") {
+        Effort::Smoke
+    } else if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let records = bolted_bench::hotpath::run(effort);
     print!("{}", bolted_bench::hotpath::to_json_lines(&records));
 }

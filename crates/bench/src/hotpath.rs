@@ -1,17 +1,44 @@
 //! Dependency-free micro-benchmarks for the attestation hot path.
 //!
-//! Measures the kernels ISSUE 2 optimised — modular exponentiation,
-//! RSA-verify-shaped modpow, SHA-256 compression and LUKS sector
-//! encryption — each against an in-repo "before" reference (the legacy
-//! `BigUint::modpow`, a rolled SHA-256 compression loop, the per-block
-//! ChaCha20 path), so the speedup is recorded next to the code that
-//! earned it. Plain `std::time::Instant`, JSON-lines output, no external
-//! crates: it runs in the offline build where criterion cannot.
+//! Measures the optimised kernels — modular exponentiation,
+//! RSA-verify-shaped modpow, SHA-256 compression, multi-buffer SHA-256
+//! and LUKS sector encryption — each against an in-repo "before"
+//! reference (the legacy `BigUint::modpow`, a rolled SHA-256
+//! compression loop, single-stream hashing, the single-stream ChaCha20
+//! sector path), so the speedup is recorded next to the code that
+//! earned it. Plain `std::time::Instant`, JSON-lines output, no
+//! external crates: it runs in the offline build where criterion
+//! cannot.
 
 use std::time::Instant;
 
 use bolted_crypto::chacha20::{chacha20_block, Key, NONCE_LEN};
-use bolted_crypto::{BigUint, ChaCha20, Montgomery, RandomSource, XorShiftSource};
+use bolted_crypto::{
+    sha256_many, BigUint, Montgomery, RandomSource, SectorCipher, XorShiftSource, SECTOR_SIZE,
+};
+
+/// How much wall clock to spend: `Full` for recorded figures, `Quick`
+/// for `cargo test`, `Smoke` for the pre-commit verify gate (seconds,
+/// sanity only — ratios still hold but with wide error bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Recorded-figure precision (the numbers in `BENCH_hotpath.json`).
+    Full,
+    /// Fits inside `cargo test`.
+    Quick,
+    /// Fastest possible end-to-end pass for the verify gate.
+    Smoke,
+}
+
+impl Effort {
+    fn pick<T>(self, full: T, quick: T, smoke: T) -> T {
+        match self {
+            Effort::Full => full,
+            Effort::Quick => quick,
+            Effort::Smoke => smoke,
+        }
+    }
+}
 
 /// One measured data point.
 #[derive(Debug, Clone)]
@@ -234,9 +261,12 @@ fn sha256_rolled(data: &[u8]) -> [u8; 32] {
     out
 }
 
-/// The pre-optimisation LUKS keystream path: one full ChaCha20 state
-/// setup (key re-parse included) per 64-byte block.
-fn sector_xor_per_block(key: &Key, nonce: &[u8; NONCE_LEN], buf: &mut [u8]) {
+/// The single-stream LUKS keystream path (the data plane before the
+/// wide rework), copied here as the sector baseline: every 64-byte
+/// block of a sector gets its own full scalar 20-round ChaCha20 core —
+/// correct and allocation-free, but strictly serial. The 20 rounds
+/// dominate; state setup per block is noise.
+fn sector_xor_streamed(key: &Key, nonce: &[u8; NONCE_LEN], buf: &mut [u8]) {
     for (idx, chunk) in buf.chunks_mut(64).enumerate() {
         let ks = chacha20_block(key, idx as u32, nonce);
         for (b, k) in chunk.iter_mut().zip(ks.iter()) {
@@ -245,9 +275,8 @@ fn sector_xor_per_block(key: &Key, nonce: &[u8; NONCE_LEN], buf: &mut [u8]) {
     }
 }
 
-/// Runs every hot-path benchmark. `quick` trades precision for speed so
-/// the suite can run inside `cargo test`.
-pub fn run(quick: bool) -> Vec<Record> {
+/// Runs every hot-path benchmark at the given [`Effort`].
+pub fn run(effort: Effort) -> Vec<Record> {
     let mut rng = XorShiftSource::new(0xB017ED);
     let mut records = Vec::new();
 
@@ -265,7 +294,7 @@ pub fn run(quick: bool) -> Vec<Record> {
 
     // The optimised side gets more iterations per round so both batches
     // cover a similar stretch of wall clock within each round.
-    let (rounds, it_l, it_m) = if quick { (4, 2, 8) } else { (16, 4, 16) };
+    let (rounds, it_l, it_m) = effort.pick((16, 4, 16), (4, 2, 8), (2, 1, 4));
     let ns = time_pair(
         rounds,
         it_l,
@@ -286,7 +315,7 @@ pub fn run(quick: bool) -> Vec<Record> {
         None,
     );
 
-    let (rounds, it_l, it_m) = if quick { (2, 1, 4) } else { (4, 1, 6) };
+    let (rounds, it_l, it_m) = effort.pick((4, 1, 6), (2, 1, 4), (1, 1, 2));
     let ns = time_pair(
         rounds,
         it_l,
@@ -308,7 +337,7 @@ pub fn run(quick: bool) -> Vec<Record> {
     );
 
     // --- SHA-256 -----------------------------------------------------
-    let buf_len = if quick { 64 << 10 } else { 1 << 20 };
+    let buf_len = effort.pick(1 << 20, 64 << 10, 16 << 10);
     let mut buf = vec![0u8; buf_len];
     rng.fill_bytes(&mut buf);
     assert_eq!(
@@ -316,7 +345,7 @@ pub fn run(quick: bool) -> Vec<Record> {
         bolted_crypto::sha256(&buf).0,
         "rolled reference cross-check"
     );
-    let (rounds, iters) = if quick { (2, 2) } else { (8, 2) };
+    let (rounds, iters) = effort.pick((8, 2), (2, 2), (1, 1));
     let ns = time_pair(
         rounds,
         iters,
@@ -337,24 +366,71 @@ pub fn run(quick: bool) -> Vec<Record> {
         Some(buf_len as u64),
     );
 
+    // --- multi-buffer SHA-256 ---------------------------------------
+    // 16 independent messages (an IMA measurement burst): single-stream
+    // hashing walks them one by one; the multi-buffer kernel interleaves
+    // all 16 through one SoA compression sweep.
+    let msg_len = effort.pick(64 << 10, 8 << 10, 2 << 10);
+    let msgs: Vec<Vec<u8>> = (0..16)
+        .map(|_| {
+            let mut m = vec![0u8; msg_len];
+            rng.fill_bytes(&mut m);
+            m
+        })
+        .collect();
+    let views: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+    {
+        let serial: Vec<_> = views.iter().map(|m| bolted_crypto::sha256(m)).collect();
+        assert_eq!(serial, sha256_many(&views), "multi-buffer cross-check");
+    }
+    // Many short interleaved rounds: on a shared vCPU a noise burst then
+    // lands on a sliver of both variants instead of one whole batch.
+    let (rounds, iters) = effort.pick((64, 2), (2, 2), (1, 1));
+    let ns = time_pair(
+        rounds,
+        iters,
+        iters,
+        || {
+            for m in &views {
+                std::hint::black_box(bolted_crypto::sha256(m));
+            }
+        },
+        || {
+            std::hint::black_box(sha256_many(&views));
+        },
+    );
+    record_pair(
+        &mut records,
+        "sha256_mb",
+        ("single_stream", "multibuffer_x16"),
+        (rounds * iters, rounds * iters),
+        ns,
+        Some((16 * msg_len) as u64),
+    );
+
     // --- LUKS sector encryption --------------------------------------
     let mut key_bytes = [0u8; 32];
     rng.fill_bytes(&mut key_bytes);
     let key = Key(key_bytes);
-    let cipher = ChaCha20::new(&key);
-    let nonce = [7u8; NONCE_LEN];
-    let sectors = if quick { 64usize } else { 1024 };
-    let mut disk = vec![0u8; sectors * 512];
+    let scipher = SectorCipher::new(&key);
+    let sectors = effort.pick(1024usize, 64, 16);
+    let mut disk = vec![0u8; sectors * SECTOR_SIZE];
     rng.fill_bytes(&mut disk);
     {
-        // Cross-check: both paths produce the same ciphertext.
-        let mut a = disk[..512].to_vec();
-        let mut b = disk[..512].to_vec();
-        sector_xor_per_block(&key, &nonce, &mut a);
-        cipher.xor(&nonce, 0, &mut b);
+        // Cross-check: per-sector streamed keystream == wide batched
+        // keystream (same per-sector nonce construction).
+        let mut a = disk.clone();
+        for (s, chunk) in a.chunks_mut(SECTOR_SIZE).enumerate() {
+            let mut nonce = [0u8; NONCE_LEN];
+            nonce[..8].copy_from_slice(&(s as u64).to_le_bytes());
+            sector_xor_streamed(&key, &nonce, chunk);
+        }
+        let mut b = disk.clone();
+        scipher.xor_sectors(0, &mut b);
         assert_eq!(a, b, "sector keystream cross-check");
     }
-    let (rounds, iters) = if quick { (2, 2) } else { (8, 2) };
+    // Same fine-grained interleave as sha256_mb, for the same reason.
+    let (rounds, iters) = effort.pick((64, 2), (2, 2), (1, 1));
     // Each closure owns its copy of the disk so both can borrow mutably.
     let mut disk_a = disk.clone();
     let mut disk_b = disk.clone();
@@ -363,20 +439,20 @@ pub fn run(quick: bool) -> Vec<Record> {
         iters,
         iters,
         || {
-            for s in disk_a.chunks_mut(512) {
-                sector_xor_per_block(&key, &nonce, s);
+            for (s, chunk) in disk_a.chunks_mut(SECTOR_SIZE).enumerate() {
+                let mut nonce = [0u8; NONCE_LEN];
+                nonce[..8].copy_from_slice(&(s as u64).to_le_bytes());
+                sector_xor_streamed(&key, &nonce, chunk);
             }
         },
         || {
-            for s in disk_b.chunks_mut(512) {
-                cipher.xor(&nonce, 0, s);
-            }
+            scipher.xor_sectors(0, &mut disk_b);
         },
     );
     record_pair(
         &mut records,
         "sector_encrypt",
-        ("per_block", "streamed"),
+        ("streamed", "wide"),
         (rounds * iters, rounds * iters),
         ns,
         Some(disk.len() as u64),

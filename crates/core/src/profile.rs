@@ -102,6 +102,19 @@ impl SecurityProfile {
         self
     }
 
+    /// Returns this profile with full encryption (LUKS at rest, IPsec
+    /// in flight) under `cipher`'s cost model. Pairs with the
+    /// reproduction's measured suites ([`CipherSuite::ChaCha20Scalar`]
+    /// vs [`CipherSuite::ChaCha20Wide`]) to replay Figure 5 under the
+    /// data plane before and after the bulk-crypto rework.
+    pub fn with_cipher(mut self, cipher: CipherSuite) -> Self {
+        self.disk_encryption = true;
+        self.net_encryption = true;
+        self.cipher = cipher;
+        self.name = format!("{}-{}", self.name, cipher_slug(cipher));
+        self
+    }
+
     /// Whether any attestation happens at boot.
     pub fn attested(&self) -> bool {
         !matches!(self.attestation, AttestationMode::None)
@@ -114,6 +127,17 @@ impl SecurityProfile {
         } else {
             Transport::plain_10g()
         }
+    }
+}
+
+/// Short suite name used in derived profile names (figure row labels).
+fn cipher_slug(cipher: CipherSuite) -> &'static str {
+    match cipher {
+        CipherSuite::None => "clear",
+        CipherSuite::AesNi => "aesni",
+        CipherSuite::AesSw => "aessw",
+        CipherSuite::ChaCha20Scalar => "chacha-scalar",
+        CipherSuite::ChaCha20Wide => "chacha-wide",
     }
 }
 
@@ -152,5 +176,18 @@ mod tests {
     fn read_ahead_ablation() {
         let p = SecurityProfile::alice().untuned_read_ahead();
         assert_eq!(p.read_ahead, DEFAULT_READ_AHEAD);
+    }
+
+    #[test]
+    fn with_cipher_enables_full_encryption() {
+        let p = SecurityProfile::bob().with_cipher(CipherSuite::ChaCha20Wide);
+        assert!(p.disk_encryption && p.net_encryption);
+        assert_eq!(p.cipher, CipherSuite::ChaCha20Wide);
+        assert!(p.name.ends_with("chacha-wide"));
+        // The transport carries the suite's measured cost model.
+        let scalar = SecurityProfile::bob().with_cipher(CipherSuite::ChaCha20Scalar);
+        let wide_t = p.storage_transport();
+        let scalar_t = scalar.storage_transport();
+        assert!(wide_t.cipher.throughput_bps() >= 2.5 * scalar_t.cipher.throughput_bps());
     }
 }

@@ -20,6 +20,7 @@ use bolted_bmi::BmiError;
 use bolted_crypto::chacha20::Key;
 use bolted_crypto::secret::Secret;
 use bolted_crypto::sha256::Digest;
+use bolted_crypto::SectorCipher;
 use bolted_firmware::{FirmwareKind, KernelImage, Machine, MachineError};
 use bolted_hil::{HilError, NetworkId, NodeId};
 use bolted_keylime::{
@@ -29,7 +30,7 @@ use bolted_keylime::{
 use bolted_net::NetError;
 use bolted_sim::fault::mix_seed;
 use bolted_sim::{join_all, RetryError, RetryPolicy, Rng, SimDuration, SimTime};
-use bolted_storage::{ImageError, ImageId, IscsiTarget};
+use bolted_storage::{ImageError, ImageId, IscsiTarget, SectorStream};
 
 use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
 use crate::lifecycle::{InvalidTransition, Lifecycle, NodeState};
@@ -261,6 +262,23 @@ pub struct ProvisionedNode {
     pub lifecycle: Lifecycle,
     /// Enclave IPsec PSK (empty when unencrypted).
     pub psk: Vec<u8>,
+}
+
+impl ProvisionedNode {
+    /// Opens a zero-copy sector session on the node's root disk.
+    ///
+    /// With `Some(key)` the session runs tenant-side dm-crypt: the
+    /// tenant's LUKS master key (bootstrapped through the sealed
+    /// payload, never revealed to the provider) encrypts sectors before
+    /// they leave the node and decrypts them as they arrive, so the
+    /// gateway and cluster only ever see ciphertext. `None` opens a
+    /// plaintext session (Alice/Bob, no disk encryption).
+    pub fn sector_stream(&self, key: Option<&Key>) -> SectorStream {
+        match key {
+            Some(k) => SectorStream::encrypted(self.target.clone(), SectorCipher::new(k)),
+            None => SectorStream::plaintext(self.target.clone()),
+        }
+    }
 }
 
 /// The mutable state one provisioning run threads through the
@@ -1426,6 +1444,35 @@ mod tests {
         ] {
             assert!(p.report.phase(phase).is_some(), "missing phase {phase}");
         }
+    }
+
+    #[test]
+    fn sector_stream_delivers_plaintext_but_stores_ciphertext() {
+        let (sim, cloud) = build(FirmwareKind::LinuxBoot, 2);
+        let g = golden(&cloud);
+        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+        let node = cloud.nodes()[0];
+        sim.block_on(async move {
+            let p = tenant
+                .provision(node, &SecurityProfile::charlie(), g)
+                .await
+                .expect("provisions");
+            // Tenant-side: derive the LUKS master key from the
+            // passphrase bootstrapped through the sealed payload.
+            let payload = p.agent.as_ref().expect("agent").payload().expect("payload");
+            let key = Key(bolted_crypto::sha256(payload.luks_passphrase.expose()).0);
+            let mut disk = p.sector_stream(Some(&key));
+            let data: Vec<u8> = (0..3 * bolted_crypto::SECTOR_SIZE)
+                .map(|i| (i % 251) as u8)
+                .collect();
+            disk.write(64, &data).await.expect("writes");
+            let got = disk.read(64, 3).await.expect("reads");
+            assert_eq!(got, &data[..], "tenant round-trips plaintext");
+            // Provider-side view of the same sectors (no key): ciphertext.
+            let mut provider = p.sector_stream(None);
+            let raw = provider.read(64, 3).await.expect("reads");
+            assert_ne!(raw, &data[..], "image at rest holds ciphertext");
+        });
     }
 
     #[test]

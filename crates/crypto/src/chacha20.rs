@@ -47,6 +47,27 @@ pub struct ChaCha20 {
     key_words: [u32; 8],
 }
 
+/// Lanes per maximum-width keystream sweep: 16 lanes of u32 fill one
+/// 512-bit vector register per state word, so the whole 16-word state
+/// lives in registers with no cross-lane shuffles. One sweep covers 1 KiB
+/// of keystream — two LUKS sectors.
+const WIDE: usize = 16;
+
+/// A per-lane initialization vector for the wide kernel: state words
+/// 12..16 — `[counter, nonce0, nonce1, nonce2]`. Lanes of one sweep share
+/// the key but may differ in *both* counter and nonce, which is what lets
+/// a sweep span multiple LUKS sectors (each sector has its own nonce).
+type LaneIv = [u32; 4];
+
+/// Builds `N` consecutive-counter IVs for a single-nonce stream.
+fn seq_ivs<const N: usize>(counter: u32, nonce: &[u32; 3]) -> [LaneIv; N] {
+    let mut ivs = [[0u32; 4]; N];
+    for (l, iv) in ivs.iter_mut().enumerate() {
+        *iv = [counter.wrapping_add(l as u32), nonce[0], nonce[1], nonce[2]];
+    }
+    ivs
+}
+
 impl ChaCha20 {
     /// Parses `key` into state words.
     pub fn new(key: &Key) -> ChaCha20 {
@@ -62,49 +83,78 @@ impl ChaCha20 {
         ChaCha20 { key_words }
     }
 
-    /// Encrypts or decrypts `data` in place (XOR keystream; symmetric).
-    ///
-    /// Multi-block path: the base state is assembled once and only the
-    /// counter word changes per 64-byte block.
-    pub fn xor(&self, nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+    /// Assembles the RFC 8439 base state (counter word left at zero).
+    fn base_state(&self, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
         let mut state = [0u32; 16];
         state[0] = 0x61707865;
         state[1] = 0x3320646e;
         state[2] = 0x79622d32;
         state[3] = 0x6b206574;
         state[4..12].copy_from_slice(&self.key_words);
-        for i in 0..3 {
-            state[13 + i] = u32::from_le_bytes([
-                nonce[4 * i],
-                nonce[4 * i + 1],
-                nonce[4 * i + 2],
-                nonce[4 * i + 3],
-            ]);
+        let n = nonce_words(nonce);
+        state[13..16].copy_from_slice(&n);
+        state
+    }
+
+    /// Encrypts or decrypts `64 * N` bytes with one wide sweep, lane `l`
+    /// drawing its counter and nonce from `ivs[l]`.
+    pub(crate) fn xor_ivs<const N: usize>(&self, ivs: &[LaneIv; N], data: &mut [u8]) {
+        xor_wide::<N>(&self.key_words, ivs, data);
+    }
+
+    /// Encrypts or decrypts `data` in place (XOR keystream; symmetric).
+    ///
+    /// Bulk path: 16 consecutive-counter blocks per wide quarter-round
+    /// sweep, dropping to 8- and 4-wide sweeps and finally per-block
+    /// calls for the tail.
+    pub fn xor(&self, nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+        let n = nonce_words(nonce);
+        let mut counter = initial_counter;
+        let mut rest = data;
+        while rest.len() >= 64 * WIDE {
+            let (batch, tail) = rest.split_at_mut(64 * WIDE);
+            self.xor_ivs(&seq_ivs::<WIDE>(counter, &n), batch);
+            counter = counter.wrapping_add(WIDE as u32);
+            rest = tail;
         }
-        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
-            state[12] = initial_counter.wrapping_add(block_idx as u32);
-            let mut working = state;
-            for _ in 0..10 {
-                // Column rounds.
-                quarter_round(&mut working, 0, 4, 8, 12);
-                quarter_round(&mut working, 1, 5, 9, 13);
-                quarter_round(&mut working, 2, 6, 10, 14);
-                quarter_round(&mut working, 3, 7, 11, 15);
-                // Diagonal rounds.
-                quarter_round(&mut working, 0, 5, 10, 15);
-                quarter_round(&mut working, 1, 6, 11, 12);
-                quarter_round(&mut working, 2, 7, 8, 13);
-                quarter_round(&mut working, 3, 4, 9, 14);
-            }
-            let mut ks = [0u8; 64];
-            for (i, w) in working.iter().enumerate() {
-                ks[4 * i..4 * i + 4].copy_from_slice(&w.wrapping_add(state[i]).to_le_bytes());
-            }
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                *b ^= k;
+        if rest.len() >= 64 * 8 {
+            let (batch, tail) = rest.split_at_mut(64 * 8);
+            self.xor_ivs(&seq_ivs::<8>(counter, &n), batch);
+            counter = counter.wrapping_add(8);
+            rest = tail;
+        }
+        if rest.len() >= 64 * 4 {
+            let (batch, tail) = rest.split_at_mut(64 * 4);
+            self.xor_ivs(&seq_ivs::<4>(counter, &n), batch);
+            counter = counter.wrapping_add(4);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            let mut state = self.base_state(nonce);
+            for chunk in rest.chunks_mut(64) {
+                state[12] = counter;
+                let ks = keystream_block(&state);
+                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *b ^= k;
+                }
+                counter = counter.wrapping_add(1);
             }
         }
     }
+}
+
+/// Parses the 12-byte nonce into its three little-endian state words.
+fn nonce_words(nonce: &[u8; NONCE_LEN]) -> [u32; 3] {
+    let mut n = [0u32; 3];
+    for (i, w) in n.iter_mut().enumerate() {
+        *w = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    n
 }
 
 #[inline]
@@ -119,31 +169,12 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
-pub fn chacha20_block(key: &Key, counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
-    let mut state = [0u32; 16];
-    state[0] = 0x61707865;
-    state[1] = 0x3320646e;
-    state[2] = 0x79622d32;
-    state[3] = 0x6b206574;
-    for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key.0[4 * i],
-            key.0[4 * i + 1],
-            key.0[4 * i + 2],
-            key.0[4 * i + 3],
-        ]);
-    }
-    state[12] = counter;
-    for i in 0..3 {
-        state[13 + i] = u32::from_le_bytes([
-            nonce[4 * i],
-            nonce[4 * i + 1],
-            nonce[4 * i + 2],
-            nonce[4 * i + 3],
-        ]);
-    }
-    let mut working = state;
+/// The ChaCha20 block function: 10 double-rounds over `state` plus the
+/// feed-forward add, serialized little-endian. The single shared
+/// keystream core — the streamed instance path, the one-shot block
+/// function and the AEAD all call through here.
+fn keystream_block(state: &[u32; 16]) -> [u8; 64] {
+    let mut working = *state;
     for _ in 0..10 {
         // Column rounds.
         quarter_round(&mut working, 0, 4, 8, 12);
@@ -162,6 +193,94 @@ pub fn chacha20_block(key: &Key, counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 
         out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
     }
     out
+}
+
+/// Generates `N` keystream blocks in one quarter-round sweep and XORs
+/// them into `data` (`data.len()` must be `64 * N`); lane `l` takes its
+/// counter and nonce words from `ivs[l]`.
+///
+/// State is laid out structure-of-arrays: each of the 16 state words
+/// becomes a `[u32; N]` lane vector and every quarter-round step is a
+/// lane-parallel loop the autovectorizer lowers to SIMD (at `N = 16`,
+/// one 512-bit register per word). The constant and key words are
+/// broadcast; words 12..16 are gathered from the per-lane IVs, so one
+/// sweep can mix counters *and* nonces — e.g. two different LUKS
+/// sectors' keystreams in a single pass.
+fn xor_wide<const N: usize>(key: &[u32; 8], ivs: &[[u32; 4]; N], data: &mut [u8]) {
+    assert_eq!(data.len(), 64 * N);
+    const C: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+    let mut x = [[0u32; N]; 16];
+    for w in 0..4 {
+        x[w] = [C[w]; N];
+    }
+    for w in 0..8 {
+        x[4 + w] = [key[w]; N];
+    }
+    for l in 0..N {
+        for s in 0..4 {
+            x[12 + s][l] = ivs[l][s];
+        }
+    }
+    macro_rules! qr {
+        ($a:expr, $b:expr, $c:expr, $d:expr) => {
+            for l in 0..N {
+                x[$a][l] = x[$a][l].wrapping_add(x[$b][l]);
+                x[$d][l] = (x[$d][l] ^ x[$a][l]).rotate_left(16);
+            }
+            for l in 0..N {
+                x[$c][l] = x[$c][l].wrapping_add(x[$d][l]);
+                x[$b][l] = (x[$b][l] ^ x[$c][l]).rotate_left(12);
+            }
+            for l in 0..N {
+                x[$a][l] = x[$a][l].wrapping_add(x[$b][l]);
+                x[$d][l] = (x[$d][l] ^ x[$a][l]).rotate_left(8);
+            }
+            for l in 0..N {
+                x[$c][l] = x[$c][l].wrapping_add(x[$d][l]);
+                x[$b][l] = (x[$b][l] ^ x[$c][l]).rotate_left(7);
+            }
+        };
+    }
+    for _ in 0..10 {
+        // Column rounds.
+        qr!(0, 4, 8, 12);
+        qr!(1, 5, 9, 13);
+        qr!(2, 6, 10, 14);
+        qr!(3, 7, 11, 15);
+        // Diagonal rounds.
+        qr!(0, 5, 10, 15);
+        qr!(1, 6, 11, 12);
+        qr!(2, 7, 8, 13);
+        qr!(3, 4, 9, 14);
+    }
+    // Feed-forward add + XOR into the data, block-major: lane l owns
+    // data[64*l .. 64*(l+1)], word w sits at byte offset 4*w within it.
+    // The initial state is re-derived from `key`/`ivs` memory here rather
+    // than snapshotted into locals before the rounds: keeping 16 extra
+    // lane vectors live across the rounds would double register pressure
+    // and spill the hot loop.
+    for w in 0..16 {
+        for l in 0..N {
+            let base = if w < 4 {
+                C[w]
+            } else if w < 12 {
+                key[w - 4]
+            } else {
+                ivs[l][w - 12]
+            };
+            let v = x[w][l].wrapping_add(base);
+            let off = 64 * l + 4 * w;
+            let d = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+            data[off..off + 4].copy_from_slice(&(d ^ v).to_le_bytes());
+        }
+    }
+}
+
+/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+pub fn chacha20_block(key: &Key, counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = ChaCha20::new(key).base_state(nonce);
+    state[12] = counter;
+    keystream_block(&state)
 }
 
 /// Encrypts or decrypts `data` in place (XOR keystream; symmetric).
@@ -279,6 +398,59 @@ mod tests {
             cipher.xor(&nonce, 5, &mut data);
             assert_eq!(data, expect, "len={len}");
         }
+    }
+
+    #[test]
+    fn wide_matches_per_block_over_random_sector_counts() {
+        // Drive the wide-8 / wide-4 / scalar tail split across many
+        // lengths, including whole-sector multiples (512 = one wide-8
+        // sweep) and ragged tails that exercise every fallback tier.
+        let key = key_from_hexish();
+        let cipher = ChaCha20::new(&key);
+        let nonce = [0xa5u8; 12];
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..40 {
+            let sectors = (rng() % 9) as usize;
+            let ragged = (rng() % 192) as usize;
+            let len = sectors * 512 + ragged;
+            let counter = (rng() % 1000) as u32;
+            let mut data: Vec<u8> = (0..len).map(|_| rng() as u8).collect();
+            let mut expect = data.clone();
+            for (idx, chunk) in expect.chunks_mut(64).enumerate() {
+                let ks = chacha20_block(&key, counter.wrapping_add(idx as u32), &nonce);
+                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *b ^= k;
+                }
+            }
+            cipher.xor(&nonce, counter, &mut data);
+            assert_eq!(data, expect, "trial={trial} len={len} counter={counter}");
+        }
+    }
+
+    #[test]
+    fn wide_counter_wraps_like_per_block() {
+        // Counter overflow mid-batch must match the scalar wrapping_add
+        // semantics lane for lane.
+        let key = key_from_hexish();
+        let cipher = ChaCha20::new(&key);
+        let nonce = [3u8; 12];
+        let mut data = vec![0u8; 1024];
+        let mut expect = data.clone();
+        let start = u32::MAX - 3;
+        for (idx, chunk) in expect.chunks_mut(64).enumerate() {
+            let ks = chacha20_block(&key, start.wrapping_add(idx as u32), &nonce);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        cipher.xor(&nonce, start, &mut data);
+        assert_eq!(data, expect);
     }
 
     #[test]

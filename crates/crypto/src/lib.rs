@@ -34,9 +34,9 @@ pub use bignum::BigUint;
 pub use chacha20::{ChaCha20, Key};
 pub use cost::{CipherCost, CipherSuite};
 pub use hmac::{hkdf, hmac_sha256, hmac_verify};
-pub use luks::{BlockDevice, BlockError, LuksDevice, RamDisk, SECTOR_SIZE};
+pub use luks::{BlockDevice, BlockError, LuksDevice, RamDisk, SectorCipher, SECTOR_SIZE};
 pub use montgomery::Montgomery;
 pub use prime::{RandomSource, XorShiftSource};
 pub use rsa::{generate_keypair, keypair_from_seed, KeyPair, PrivateKey, PublicKey, RsaError};
 pub use secret::{Secret, Zeroize};
-pub use sha256::{sha256, sha256_concat, Digest, Sha256};
+pub use sha256::{sha256, sha256_concat, sha256_many, Digest, Sha256};

@@ -250,24 +250,25 @@ impl Cluster {
         self.inner.borrow().objects.contains_key(&key)
     }
 
-    fn generate(&self, key: ObjectKey, backing: Backing, off: u64, len: usize) -> Vec<u8> {
+    fn generate_into(&self, key: ObjectKey, backing: Backing, off: u64, buf: &mut [u8]) {
         match backing {
-            Backing::Zero => vec![0; len],
+            Backing::Zero => buf.fill(0),
             Backing::Pattern(seed) => {
-                let mut out = Vec::with_capacity(len);
+                let mut filled = 0usize;
                 let mut i = off;
-                while out.len() < len {
+                while filled < buf.len() {
                     let word = sha256_concat(&[
                         &seed.to_le_bytes(),
                         &key.index.to_le_bytes(),
                         &(i / 32).to_le_bytes(),
                     ]);
                     let start = (i % 32) as usize;
-                    let take = (len - out.len()).min(32 - start);
-                    out.extend_from_slice(&word.as_bytes()[start..start + take]);
+                    let take = (buf.len() - filled).min(32 - start);
+                    buf[filled..filled + take]
+                        .copy_from_slice(&word.as_bytes()[start..start + take]);
+                    filled += take;
                     i += take as u64;
                 }
-                out
             }
         }
     }
@@ -282,8 +283,18 @@ impl Cluster {
     /// Returns object bytes with **no** timing charge — used by gateways
     /// serving from their read-ahead cache.
     pub fn peek_object(&self, key: ObjectKey, off: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.peek_into(key, off, &mut out);
+        out
+    }
+
+    /// Fills `buf` from the object at `off` with **no** timing charge and
+    /// no allocation — the zero-copy sibling of [`Cluster::peek_object`].
+    /// Unmaterialised or absent ranges produce their backing bytes
+    /// (zeros or pattern).
+    pub fn peek_into(&self, key: ObjectKey, off: u64, buf: &mut [u8]) {
         enum Src {
-            Bytes(Vec<u8>),
+            Done,
             Generate(Backing),
             Absent,
         }
@@ -292,11 +303,12 @@ impl Cluster {
             match inner.objects.get(&key) {
                 Some(obj) => match &obj.data {
                     Some(data) => {
-                        let end = ((off as usize) + len).min(data.len());
+                        let end = ((off as usize) + buf.len()).min(data.len());
                         let start = (off as usize).min(end);
-                        let mut out = data[start..end].to_vec();
-                        out.resize(len, 0);
-                        Src::Bytes(out)
+                        let head = end - start;
+                        buf[..head].copy_from_slice(&data[start..end]);
+                        buf[head..].fill(0);
+                        Src::Done
                     }
                     None => Src::Generate(obj.backing),
                 },
@@ -304,9 +316,9 @@ impl Cluster {
             }
         };
         match src {
-            Src::Bytes(b) => b,
-            Src::Generate(backing) => self.generate(key, backing, off, len),
-            Src::Absent => vec![0; len],
+            Src::Done => {}
+            Src::Generate(backing) => self.generate_into(key, backing, off, buf),
+            Src::Absent => buf.fill(0),
         }
     }
 
@@ -330,7 +342,8 @@ impl Cluster {
             }
         };
         if let Some(backing) = need_backing {
-            let base = self.generate(key, backing, 0, object_size);
+            let mut base = vec![0u8; object_size];
+            self.generate_into(key, backing, 0, &mut base);
             // lint: allow(L1-panic: the entry was inserted by the
             // borrow-scoped block above; two borrows cannot interleave on
             // a single-threaded Rc<RefCell>)

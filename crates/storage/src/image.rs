@@ -21,6 +21,8 @@ pub enum ImageError {
     HasChildren,
     /// Byte range exceeds the image size.
     OutOfBounds,
+    /// Buffer is not a whole number of sectors (sector-stream paths).
+    NotSectorSized,
     /// Transient storage-path failure (gateway hiccup, Ceph OSD timeout;
     /// injected by the fault plan). Retry the operation.
     Transient,
@@ -34,6 +36,7 @@ impl std::fmt::Display for ImageError {
             ImageError::Frozen => write!(f, "image is frozen"),
             ImageError::HasChildren => write!(f, "image has dependent clones"),
             ImageError::OutOfBounds => write!(f, "I/O beyond image size"),
+            ImageError::NotSectorSized => write!(f, "buffer is not sector-aligned"),
             ImageError::Transient => write!(f, "transient storage failure"),
         }
     }
@@ -276,28 +279,48 @@ impl ImageStore {
         len: usize,
         charge: bool,
     ) -> Result<Vec<u8>, ImageError> {
+        let mut out = vec![0u8; len];
+        self.read_at_into(id, offset, &mut out, charge).await?;
+        Ok(out)
+    }
+
+    /// Fills `buf` from the image at `offset` — the zero-copy sibling of
+    /// [`ImageStore::read_at`]: object spans land directly in the
+    /// caller's buffer with no per-object `Vec`.
+    pub async fn read_at_into(
+        &self,
+        id: ImageId,
+        offset: u64,
+        buf: &mut [u8],
+        charge: bool,
+    ) -> Result<(), ImageError> {
         let size = self.size(id)?;
-        if offset + len as u64 > size {
+        if offset + buf.len() as u64 > size {
             return Err(ImageError::OutOfBounds);
         }
         let osize = self.cluster.object_size();
-        let mut out = Vec::with_capacity(len);
         let mut pos = offset;
-        let end = offset + len as u64;
+        let mut filled = 0usize;
+        let end = offset + buf.len() as u64;
         while pos < end {
             let index = pos / osize;
             let within = pos % osize;
             let take = ((osize - within) as usize).min((end - pos) as usize);
             let key = self.resolve_object(id, index);
+            // lint: allow(L1-index: take is min-clamped against end - pos,
+            // so filled + take never exceeds buf.len())
+            let dst = &mut buf[filled..filled + take];
             if charge {
-                out.extend_from_slice(&self.cluster.read_object(key, within, take).await);
+                self.cluster.charge_read(key, take as u64).await;
+                self.cluster.peek_into(key, within, dst);
             } else {
                 // Serve data without spindle time (cache hit at a gateway).
-                out.extend_from_slice(&self.cluster.peek_object(key, within, take));
+                self.cluster.peek_into(key, within, dst);
             }
             pos += take as u64;
+            filled += take;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Writes bytes at `offset`, performing COW copy-up when the target

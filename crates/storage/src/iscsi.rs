@@ -338,12 +338,25 @@ impl IscsiTarget {
 
     /// Reads `len` bytes at `offset` with timing, returning the data.
     pub async fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>, ImageError> {
+        let mut out = vec![0u8; len];
+        self.read_into(offset, &mut out).await?;
+        Ok(out)
+    }
+
+    /// Reads `buf.len()` bytes at `offset` directly into `buf` — same
+    /// gating, accounting and wire timing as [`IscsiTarget::read`], but
+    /// the data lands in the caller's buffer with no allocation. This is
+    /// the entry point for the zero-copy sector pipeline.
+    pub async fn read_into(&self, offset: u64, buf: &mut [u8]) -> Result<(), ImageError> {
+        let len = buf.len() as u64;
         self.read_gate().await?;
-        self.ensure(offset, len as u64).await?;
-        self.state.borrow_mut().bytes_to_client += len as u64;
-        self.count_read(len as u64);
-        self.sim.sleep(self.transport.wire_time(len as u64)).await;
-        self.store.read_at(self.image, offset, len, false).await
+        self.ensure(offset, len).await?;
+        self.state.borrow_mut().bytes_to_client += len;
+        self.count_read(len);
+        self.sim.sleep(self.transport.wire_time(len)).await;
+        self.store
+            .read_at_into(self.image, offset, buf, false)
+            .await
     }
 
     /// Timing-only read (no data materialisation) for large workloads.
