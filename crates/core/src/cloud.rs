@@ -1,17 +1,16 @@
 //! Builds a complete simulated datacenter: machines with TPMs and
 //! firmware, switches, HIL, the Ceph cluster, the iSCSI gateway, and BMI.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use bolted_bmi::Bmi;
 use bolted_crypto::sha256::{sha256, Digest};
 use bolted_firmware::{FirmwareImage, FirmwareKind, FirmwareSource, Machine};
 use bolted_hil::{BmcError, BmcOps, Hil, NodeId};
 use bolted_net::{Fabric, LinkModel, SwitchId};
 use bolted_sim::fault::{ops, FaultPlan, Faults};
+use bolted_sim::lock;
 use bolted_sim::{Metrics, OpGate, Resource, Sim, Spans, Tracer};
 use bolted_storage::{Cluster, Gateway, ImageStore};
+use std::sync::{Arc, Mutex};
 
 use crate::calib::Calibration;
 
@@ -153,9 +152,9 @@ pub struct Cloud {
     pub metrics: Metrics,
     /// The installed fault-injection handle; shared by every gated layer.
     pub faults: Faults,
-    machines: Rc<Vec<Machine>>,
-    nodes: Rc<Vec<NodeId>>,
-    rejected: Rc<RefCell<Vec<NodeId>>>,
+    machines: Arc<Vec<Machine>>,
+    nodes: Arc<Vec<NodeId>>,
+    rejected: Arc<Mutex<Vec<NodeId>>>,
 }
 
 impl Cloud {
@@ -207,7 +206,7 @@ impl Cloud {
                 host,
                 switch,
                 i,
-                Some(Rc::new(MachineBmc {
+                Some(Arc::new(MachineBmc {
                     machine: machine.clone(),
                     name: name.clone(),
                     gate: OpGate::with(&faults, &metrics),
@@ -241,9 +240,9 @@ impl Cloud {
             spans,
             metrics,
             faults,
-            machines: Rc::new(machines),
-            nodes: Rc::new(nodes),
-            rejected: Rc::new(RefCell::new(Vec::new())),
+            machines: Arc::new(machines),
+            nodes: Arc::new(nodes),
+            rejected: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -271,12 +270,12 @@ impl Cloud {
     /// Marks a node as quarantined in the rejected pool.
     pub fn quarantine(&self, node: NodeId) {
         self.metrics.inc("hil_ops", &[("op", "quarantine")]);
-        self.rejected.borrow_mut().push(node);
+        lock(&self.rejected).push(node);
     }
 
     /// Nodes currently in the rejected pool.
     pub fn rejected_pool(&self) -> Vec<NodeId> {
-        self.rejected.borrow().clone()
+        lock(&self.rejected).clone()
     }
 }
 

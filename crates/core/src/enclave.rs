@@ -6,18 +6,17 @@
 // all sized at formation; an out-of-range member index is a caller bug the
 // same way an out-of-range Vec index is)
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_net::{HostId, IpsecError, IpsecTunnel, NetError, TransferSpec};
-use bolted_sim::{join_all, SimDuration, SimTime};
+use bolted_sim::{join_all, lock, SimDuration, SimTime};
 
 use crate::cloud::Cloud;
 use crate::provision::{ProvisionedNode, Tenant};
 
 /// Both endpoints of one member pair's IPsec tunnel.
-type TunnelPair = Rc<RefCell<(IpsecTunnel, IpsecTunnel)>>;
+type TunnelPair = Arc<Mutex<(IpsecTunnel, IpsecTunnel)>>;
 
 /// A formed enclave of provisioned nodes.
 pub struct Enclave {
@@ -28,8 +27,8 @@ pub struct Enclave {
     /// Whether enclave traffic is IPsec-protected.
     pub encrypted: bool,
     /// Paired tunnel endpoints per (i, j) with i < j.
-    tunnels: RefCell<HashMap<(usize, usize), TunnelPair>>,
-    banned: RefCell<Vec<bool>>,
+    tunnels: Mutex<HashMap<(usize, usize), TunnelPair>>,
+    banned: Mutex<Vec<bool>>,
 }
 
 impl Enclave {
@@ -43,16 +42,16 @@ impl Enclave {
             .map(|m| cloud.hil.node_host(m.node).expect("member registered"))
             .collect();
         let encrypted = members.first().is_some_and(|m| !m.psk.is_empty());
-        let tunnels = RefCell::new(HashMap::new());
+        let tunnels = Mutex::new(HashMap::new());
         if encrypted {
-            let mut map = tunnels.borrow_mut();
+            let mut map = lock(&tunnels);
             for i in 0..members.len() {
                 for j in (i + 1)..members.len() {
                     let psk = &members[i].psk;
                     let suite = bolted_crypto::CipherSuite::AesNi;
                     map.insert(
                         (i, j),
-                        Rc::new(RefCell::new(bolted_net::tunnel_pair(psk, suite))),
+                        Arc::new(Mutex::new(bolted_net::tunnel_pair(psk, suite))),
                     );
                 }
             }
@@ -64,7 +63,7 @@ impl Enclave {
             hosts,
             encrypted,
             tunnels,
-            banned: RefCell::new(vec![false; n]),
+            banned: Mutex::new(vec![false; n]),
         }
     }
 
@@ -99,8 +98,13 @@ impl Enclave {
         to: usize,
         bytes: u64,
     ) -> Result<SimDuration, NetError> {
-        if self.banned.borrow()[from] || self.banned.borrow()[to] {
-            return Err(NetError::IsolationViolation);
+        // One lock for both reads: std's Mutex is not reentrant, so two
+        // lock() temporaries in one expression would self-deadlock.
+        {
+            let banned = lock(&self.banned);
+            if banned[from] || banned[to] {
+                return Err(NetError::IsolationViolation);
+            }
         }
         self.cloud
             .fabric
@@ -122,9 +126,9 @@ impl Enclave {
         payload: &[u8],
     ) -> Result<Vec<u8>, IpsecError> {
         let key = (from.min(to), from.max(to));
-        let tunnels = self.tunnels.borrow();
+        let tunnels = lock(&self.tunnels);
         let pair = tunnels.get(&key).ok_or(IpsecError::Revoked)?;
-        let mut pair = pair.borrow_mut();
+        let mut pair = lock(pair);
         let packet = if from < to {
             pair.0.seal(payload)?
         } else {
@@ -140,10 +144,10 @@ impl Enclave {
     /// Cryptographically bans a member: every tunnel touching it is
     /// revoked on both ends.
     pub fn ban(&self, victim: usize) {
-        self.banned.borrow_mut()[victim] = true;
-        for ((i, j), pair) in self.tunnels.borrow().iter() {
+        lock(&self.banned)[victim] = true;
+        for ((i, j), pair) in lock(&self.tunnels).iter() {
             if *i == victim || *j == victim {
-                let mut pair = pair.borrow_mut();
+                let mut pair = lock(pair);
                 pair.0.revoke();
                 pair.1.revoke();
             }
@@ -152,7 +156,7 @@ impl Enclave {
 
     /// True if the member has been banned.
     pub fn is_banned(&self, i: usize) -> bool {
-        self.banned.borrow()[i]
+        lock(&self.banned)[i]
     }
 }
 
@@ -405,8 +409,8 @@ mod plain_enclave_tests {
         assert!(!enclave.transfer_spec().esp);
         // But bulk transfers work in the clear.
         let ok = sim.block_on({
-            let e = std::rc::Rc::new(enclave);
-            let e2 = std::rc::Rc::clone(&e);
+            let e = std::sync::Arc::new(enclave);
+            let e2 = std::sync::Arc::clone(&e);
             async move { e2.transfer(0, 1, 1024).await.is_ok() }
         });
         assert!(ok);

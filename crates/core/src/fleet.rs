@@ -1,0 +1,202 @@
+//! Multi-core fleet provisioning: shard-per-job determinism.
+//!
+//! A datacenter-scale fleet run is split into a **fixed** number of
+//! shards, each an independent deterministic world — its own [`Sim`],
+//! [`Cloud`], golden image and [`Tenant`] — provisioned to completion by
+//! one [`bolted_sim::run_jobs`] pool job. Because a shard's sim is built
+//! and driven entirely inside its job, the per-[`Sim`] single-driver
+//! contract holds and every shard is byte-deterministic on its own;
+//! because the shard *count* and per-shard seeds come from the
+//! [`FleetSpec`] (never from the host), and results are merged in shard
+//! index order after the pool drains, the merged run is byte-identical
+//! whether it was driven by 1 worker or 64. The worker count only
+//! decides wall-clock time — which is the point: provisioning throughput
+//! scales with cores while the output stays a pure function of the spec.
+
+use bolted_crypto::sha256::{sha256, Digest};
+use bolted_firmware::KernelImage;
+use bolted_sim::fault::mix_seed;
+use bolted_sim::Sim;
+
+use crate::cloud::{Cloud, CloudConfig};
+use crate::profile::SecurityProfile;
+use crate::provision::{ProvisionError, Tenant};
+
+/// What to provision: `shards` independent clouds of `nodes_per_shard`
+/// servers each. Shard `i` seeds its world with
+/// `mix_seed(seed, ["fleet-shard", i])`, so shards are diverse but the
+/// whole fleet is reproducible from one number.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Independent deterministic worlds. Fixed by the caller — never by
+    /// the machine — so a run's shape is host-independent.
+    pub shards: usize,
+    /// Servers per shard.
+    pub nodes_per_shard: usize,
+    /// Base seed for the whole fleet.
+    pub seed: u64,
+    /// Security profile every node is provisioned under.
+    pub profile: SecurityProfile,
+}
+
+impl FleetSpec {
+    /// A spec provisioning `shards * nodes_per_shard` nodes under the
+    /// full attested profile.
+    pub fn new(shards: usize, nodes_per_shard: usize, seed: u64) -> FleetSpec {
+        FleetSpec {
+            shards,
+            nodes_per_shard,
+            seed,
+            profile: SecurityProfile::charlie(),
+        }
+    }
+
+    /// Total nodes across all shards.
+    pub fn total_nodes(&self) -> usize {
+        self.shards * self.nodes_per_shard
+    }
+}
+
+/// One shard's complete, serialisable outcome.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard index within the spec.
+    pub shard: usize,
+    /// Nodes that provisioned into the enclave.
+    pub ok: usize,
+    /// Nodes that failed or were abandoned.
+    pub failed: usize,
+    /// Virtual seconds the shard's whole run took.
+    pub sim_seconds: f64,
+    /// The shard's rendered span tree (global-sequence ordered).
+    pub spans: String,
+    /// The shard's metrics snapshot JSON.
+    pub metrics: String,
+}
+
+/// The merged result of a parallel fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetRunReport {
+    /// Per-shard outcomes, in shard index order.
+    pub shards: Vec<ShardOutcome>,
+}
+
+impl FleetRunReport {
+    /// Total successfully provisioned nodes.
+    pub fn ok(&self) -> usize {
+        self.shards.iter().map(|s| s.ok).sum()
+    }
+
+    /// Total failed nodes.
+    pub fn failed(&self) -> usize {
+        self.shards.iter().map(|s| s.failed).sum()
+    }
+
+    /// Fingerprint of the *entire* run — every shard's span tree,
+    /// metrics JSON and counts, concatenated in shard order and hashed.
+    /// Two runs of the same spec must produce equal digests regardless
+    /// of worker count; this is the byte-identity acceptance check.
+    pub fn digest(&self) -> Digest {
+        let mut buf = Vec::new();
+        for s in &self.shards {
+            buf.extend_from_slice(&(s.shard as u64).to_le_bytes());
+            buf.extend_from_slice(&(s.ok as u64).to_le_bytes());
+            buf.extend_from_slice(&(s.failed as u64).to_le_bytes());
+            buf.extend_from_slice(&s.sim_seconds.to_le_bytes());
+            buf.extend_from_slice(s.spans.as_bytes());
+            buf.extend_from_slice(s.metrics.as_bytes());
+        }
+        sha256(&buf)
+    }
+}
+
+/// Builds and provisions one shard, start to finish, on the calling
+/// thread. The shard's [`Sim`] never escapes this function, so it has
+/// exactly one driver for its whole life.
+fn run_shard(spec: &FleetSpec, shard: usize) -> Result<ShardOutcome, ProvisionError> {
+    let sim = Sim::new();
+    let idx = shard.to_string();
+    let cloud = Cloud::build(
+        &sim,
+        CloudConfig {
+            nodes: spec.nodes_per_shard,
+            seed: mix_seed(spec.seed, &["fleet-shard", &idx]),
+            ..CloudConfig::default()
+        },
+    );
+    let kernel = KernelImage::from_bytes("fedora28-4.17.9", b"vmlinuz+initrd");
+    let golden = cloud
+        .bmi
+        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
+        .map_err(ProvisionError::Bmi)?;
+    let tenant = Tenant::new(&cloud, "charlie")?;
+    let nodes = cloud.nodes();
+    let profile = spec.profile.clone();
+    let report = sim.block_on({
+        let tenant = tenant.clone();
+        async move {
+            tenant
+                .provision_fleet_report(&nodes, &profile, golden)
+                .await
+        }
+    });
+    Ok(ShardOutcome {
+        shard,
+        ok: report.succeeded.len(),
+        failed: report.failed.len(),
+        sim_seconds: sim.now().as_secs_f64(),
+        spans: cloud.spans.render(),
+        metrics: cloud.metrics.to_json(),
+    })
+}
+
+/// Provisions the whole spec across `workers` OS threads and merges the
+/// shard outcomes in shard index order. Errors from any shard surface as
+/// the first failing shard's error (shards are independent, so one
+/// shard's failure never corrupts another's outcome).
+pub fn provision_fleet_parallel(
+    spec: &FleetSpec,
+    workers: usize,
+) -> Result<FleetRunReport, ProvisionError> {
+    let jobs: Vec<_> = (0..spec.shards)
+        .map(|shard| {
+            let spec = spec.clone();
+            move || run_shard(&spec, shard)
+        })
+        .collect();
+    let shards = bolted_sim::run_jobs(workers, jobs)
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FleetRunReport { shards })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_never_changes_the_run_digest() {
+        let spec = FleetSpec::new(4, 2, 0xF1EE7);
+        let one = provision_fleet_parallel(&spec, 1).expect("1-worker run");
+        let four = provision_fleet_parallel(&spec, 4).expect("4-worker run");
+        assert_eq!(one.ok(), spec.total_nodes());
+        assert_eq!(one.failed(), 0);
+        assert_eq!(one.ok(), four.ok());
+        assert_eq!(
+            one.digest(),
+            four.digest(),
+            "fleet run depends on worker count"
+        );
+    }
+
+    #[test]
+    fn same_spec_runs_are_byte_identical() {
+        let spec = FleetSpec::new(2, 1, 7);
+        let a = provision_fleet_parallel(&spec, 2).expect("run a");
+        let b = provision_fleet_parallel(&spec, 2).expect("run b");
+        // Same spec, same bytes — spans, metrics and counts all hash in.
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.shards[0].spans.is_empty());
+        assert!(a.shards[0].metrics.contains("provision_outcomes"));
+    }
+}

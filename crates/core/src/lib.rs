@@ -15,6 +15,7 @@
 pub mod calib;
 pub mod cloud;
 pub mod enclave;
+pub mod fleet;
 pub mod foreman;
 pub mod lifecycle;
 pub mod profile;
@@ -26,6 +27,7 @@ pub use cloud::{
     heads_runtime_digest, ipxe_digest, linuxboot_source, uefi_source, Cloud, CloudConfig,
 };
 pub use enclave::{revocation_experiment, Enclave, RevocationReport};
+pub use fleet::{provision_fleet_parallel, FleetRunReport, FleetSpec, ShardOutcome};
 pub use foreman::{foreman_provision, foreman_release_with_scrub};
 pub use lifecycle::{InvalidTransition, Lifecycle, NodeState};
 pub use profile::{AttestationMode, SecurityProfile};
@@ -33,6 +35,6 @@ pub use provision::{
     FleetFailure, FleetReport, ProvisionError, ProvisionReport, ProvisionedNode, Tenant,
 };
 pub use services::{
-    AttestationService, BootService, IsolationService, KeylimeAttestation, LocalBoxFuture,
+    AttestationService, BootService, BoxFuture, IsolationService, KeylimeAttestation,
     ProvisioningService, Services, TenantEnv,
 };

@@ -11,10 +11,10 @@
 //! phases; faults, retries, spans and counters all flow through the one
 //! instrumented call envelope in `bolted_sim::call`.
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::HashSet;
 use std::future::Future;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_bmi::BmiError;
 use bolted_crypto::chacha20::Key;
@@ -35,7 +35,7 @@ use bolted_storage::{ImageError, ImageId, IscsiTarget, SectorStream};
 use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
 use crate::lifecycle::{InvalidTransition, Lifecycle, NodeState};
 use crate::profile::{AttestationMode, SecurityProfile};
-use crate::services::{KeylimeAttestation, LocalBoxFuture, Services, TenantEnv};
+use crate::services::{BoxFuture, KeylimeAttestation, Services, TenantEnv};
 
 /// Errors from provisioning.
 #[derive(Debug)]
@@ -312,7 +312,7 @@ struct PhaseDef {
     #[allow(dead_code)] // documents the table; spans carry the runtime name
     name: &'static str,
     span: Option<&'static str>,
-    run: for<'a> fn(&'a Tenant, &'a mut Ctx) -> LocalBoxFuture<'a, Result<(), ProvisionError>>,
+    run: for<'a> fn(&'a Tenant, &'a mut Ctx) -> BoxFuture<'a, Result<(), ProvisionError>>,
 }
 
 /// Figure 1's provisioning steps, in order. The driver in
@@ -362,49 +362,40 @@ const PIPELINE: &[PhaseDef] = &[
     },
 ];
 
-fn run_allocate<'a>(
-    t: &'a Tenant,
-    cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+fn run_allocate<'a>(t: &'a Tenant, cx: &'a mut Ctx) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_allocate(cx))
 }
 fn run_power_cycle<'a>(
     t: &'a Tenant,
     cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_power_cycle(cx))
 }
-fn run_firmware<'a>(
-    t: &'a Tenant,
-    cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+fn run_firmware<'a>(t: &'a Tenant, cx: &'a mut Ctx) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_firmware(cx))
 }
-fn run_chain_load<'a>(
-    t: &'a Tenant,
-    cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+fn run_chain_load<'a>(t: &'a Tenant, cx: &'a mut Ctx) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_chain_load(cx))
 }
 fn run_image_clone<'a>(
     t: &'a Tenant,
     cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_image_clone(cx))
 }
 fn run_attestation<'a>(
     t: &'a Tenant,
     cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_attestation(cx))
 }
 fn run_enclave_join<'a>(
     t: &'a Tenant,
     cx: &'a mut Ctx,
-) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_enclave_join(cx))
 }
-fn run_boot<'a>(t: &'a Tenant, cx: &'a mut Ctx) -> LocalBoxFuture<'a, Result<(), ProvisionError>> {
+fn run_boot<'a>(t: &'a Tenant, cx: &'a mut Ctx) -> BoxFuture<'a, Result<(), ProvisionError>> {
     Box::pin(t.phase_boot(cx))
 }
 
@@ -423,8 +414,8 @@ pub struct Tenant {
     pub verifier: Verifier,
     enclave: NetworkId,
     airlock_net: NetworkId,
-    ima_whitelist: Rc<RefCell<ImaWhitelist>>,
-    rng: Rc<RefCell<Rng>>,
+    ima_whitelist: Arc<Mutex<ImaWhitelist>>,
+    rng: Arc<Mutex<Rng>>,
     retry: RetryPolicy,
 }
 
@@ -444,7 +435,7 @@ impl Tenant {
         // network as everything else.
         let attestation = KeylimeAttestation::new(cloud, config);
         let verifier = attestation.verifier().clone();
-        let services = Services::of_cloud(cloud, Rc::new(attestation));
+        let services = Services::of_cloud(cloud, Arc::new(attestation));
         let env = TenantEnv::of_cloud(cloud);
         Self::with_backend(project, env, services, verifier)
     }
@@ -472,8 +463,8 @@ impl Tenant {
             verifier,
             enclave,
             airlock_net,
-            ima_whitelist: Rc::new(RefCell::new(ImaWhitelist::new())),
-            rng: Rc::new(RefCell::new(Rng::seed_from_u64(
+            ima_whitelist: Arc::new(Mutex::new(ImaWhitelist::new())),
+            rng: Arc::new(Mutex::new(Rng::seed_from_u64(
                 0xB01Du64 ^ project.len() as u64,
             ))),
             retry: RetryPolicy::default(),
@@ -498,7 +489,7 @@ impl Tenant {
 
     /// Sets the IMA whitelist used for nodes provisioned from now on.
     pub fn set_ima_whitelist(&self, wl: ImaWhitelist) {
-        *self.ima_whitelist.borrow_mut() = wl;
+        *lock(&self.ima_whitelist) = wl;
     }
 
     /// The measurements this tenant accepts during boot attestation: its
@@ -897,7 +888,7 @@ impl Tenant {
                 let phase = self.env.call.open_phase("tenant", "registrar", &cx.name);
                 // Fork a task-local RNG: RefCell borrows must never be
                 // held across an await.
-                let mut task_rng = self.rng.borrow_mut().fork();
+                let mut task_rng = lock(&self.rng).fork();
                 let first_try = {
                     let mut src = SimRngSource(&mut task_rng);
                     self.services.attestation.register(&agent, &mut src).await
@@ -911,7 +902,7 @@ impl Tenant {
                     // task_rng so that fault-free runs consume exactly
                     // the same RNG stream as before this retry existed;
                     // only the (already off-schedule) retries fork.
-                    let retry_parent = Rc::new(RefCell::new(task_rng.fork()));
+                    let retry_parent = Arc::new(Mutex::new(task_rng.fork()));
                     let reg_op = {
                         let agent = agent.clone();
                         let attestation = self.services.attestation.clone();
@@ -919,7 +910,7 @@ impl Tenant {
                         move || {
                             let agent = agent.clone();
                             let attestation = attestation.clone();
-                            let mut r = parent.borrow_mut().fork();
+                            let mut r = lock(&parent).fork();
                             async move {
                                 let mut src = SimRngSource(&mut r);
                                 attestation.register(&agent, &mut src).await
@@ -985,7 +976,7 @@ impl Tenant {
                 self.services.attestation.enroll(
                     &agent,
                     boot_wl,
-                    self.ima_whitelist.borrow().clone(),
+                    lock(&self.ima_whitelist).clone(),
                     Some(v),
                     sealed,
                     calib.kernel_initrd_size,

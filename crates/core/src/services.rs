@@ -10,14 +10,14 @@
 //! these same traits over IPMI, the switch management plane, Ceph and
 //! the Keylime REST API without changing a line of orchestration.
 //!
-//! All traits are single-threaded (`Rc`-based, like the rest of the
-//! simulator), so async methods return [`LocalBoxFuture`] rather than
-//! a `Send` future.
+//! All traits are `Send + Sync`: the orchestrator drives fleets from a
+//! multi-core executor, so async methods return a [`BoxFuture`] and the
+//! trait objects in [`Services`] carry `Send + Sync` bounds.
 
 use std::collections::HashSet;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bolted_bmi::BmiError;
 use bolted_crypto::prime::RandomSource;
@@ -35,14 +35,14 @@ use bolted_storage::{ImageId, IscsiTarget, Transport};
 use crate::calib::Calibration;
 use crate::cloud::Cloud;
 
-/// A boxed, non-`Send` future — the async-method currency of the
+/// A boxed, `Send` future — the async-method currency of the
 /// object-safe service traits below.
-pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
 
 /// The isolation service (the paper's HIL): node allocation, network
 /// attach/detach, out-of-band power control and the EK/platform
 /// metadata the provider publishes per node.
-pub trait IsolationService {
+pub trait IsolationService: Send + Sync {
     /// Resolves a node's stable name (e.g. `m620-03`).
     // lint: allow(L3: metadata getter — resolves provider-published state,
     // no infrastructure round-trip to gate)
@@ -81,7 +81,7 @@ pub trait IsolationService {
 
 /// The attestation service (the paper's Keylime registrar + cloud
 /// verifier, operated by the tenant).
-pub trait AttestationService {
+pub trait AttestationService: Send + Sync {
     /// Runs the TPM credential-activation protocol for one agent
     /// against the registrar.
     #[must_use = "registration must be awaited and its failure retried or surfaced"]
@@ -89,7 +89,7 @@ pub trait AttestationService {
         &'a self,
         agent: &'a Agent,
         rng: &'a mut dyn RandomSource,
-    ) -> LocalBoxFuture<'a, Result<(), RegisterError>>;
+    ) -> BoxFuture<'a, Result<(), RegisterError>>;
     /// The EK the registrar saw during activation — compared against
     /// the isolation service's published EK to detect MITM registrars.
     // lint: allow(L3: registrar-cache getter; the round-trip it reflects
@@ -114,7 +114,7 @@ pub trait AttestationService {
         &'a self,
         node_id: &'a str,
         continuous: bool,
-    ) -> LocalBoxFuture<'a, AttestOutcome>;
+    ) -> BoxFuture<'a, AttestOutcome>;
     /// Stops tracking a node (deprovision or abandon).
     // lint: allow(L3: local state removal; nothing to inject faults into)
     fn stop(&self, node_id: &str);
@@ -122,7 +122,7 @@ pub trait AttestationService {
 
 /// The provisioning service (the paper's BMI): image management and
 /// the iSCSI boot path.
-pub trait ProvisioningService {
+pub trait ProvisioningService: Send + Sync {
     /// Clones the golden image for one server and snapshots it.
     #[must_use = "a failed clone leaves the server with no root volume"]
     fn clone_for_server(&self, golden: ImageId, server_name: &str) -> Result<ImageId, BmiError>;
@@ -138,7 +138,7 @@ pub trait ProvisioningService {
 
 /// The boot service: firmware and machine-level operations that in a
 /// real deployment happen on the node itself (serial console, kexec).
-pub trait BootService {
+pub trait BootService: Send + Sync {
     /// The machine sitting in a given slot.
     // lint: allow(L3: slot getter — resolves a handle, performs no
     // operation on the machine)
@@ -155,7 +155,7 @@ pub trait BootService {
     fn run_firmware<'a>(
         &'a self,
         machine: &'a Machine,
-    ) -> LocalBoxFuture<'a, Result<FirmwareKind, MachineError>>;
+    ) -> BoxFuture<'a, Result<FirmwareKind, MachineError>>;
     /// Measures a downloaded artifact into the TPM event log.
     // lint: allow(L3: on-node TPM extend; crossing no trust boundary —
     // the artifact transfer itself is gated by storage.read)
@@ -243,7 +243,7 @@ impl BootService for Cloud {
     fn run_firmware<'a>(
         &'a self,
         machine: &'a Machine,
-    ) -> LocalBoxFuture<'a, Result<FirmwareKind, MachineError>> {
+    ) -> BoxFuture<'a, Result<FirmwareKind, MachineError>> {
         Box::pin(machine.run_firmware(&self.sim))
     }
     fn measure_download(
@@ -311,7 +311,7 @@ impl AttestationService for KeylimeAttestation {
         &'a self,
         agent: &'a Agent,
         rng: &'a mut dyn RandomSource,
-    ) -> LocalBoxFuture<'a, Result<(), RegisterError>> {
+    ) -> BoxFuture<'a, Result<(), RegisterError>> {
         Box::pin(agent.register(&self.sim, &self.registrar, rng))
     }
     fn registered_ek(&self, agent_id: &str) -> Option<PublicKey> {
@@ -339,7 +339,7 @@ impl AttestationService for KeylimeAttestation {
         &'a self,
         node_id: &'a str,
         continuous: bool,
-    ) -> LocalBoxFuture<'a, AttestOutcome> {
+    ) -> BoxFuture<'a, AttestOutcome> {
         Box::pin(self.verifier.attest_once(node_id, continuous))
     }
     fn stop(&self, node_id: &str) {
@@ -355,20 +355,20 @@ impl AttestationService for KeylimeAttestation {
 #[derive(Clone)]
 pub struct Services {
     /// Node allocation, networking, power (HIL).
-    pub isolation: Rc<dyn IsolationService>,
+    pub isolation: Arc<dyn IsolationService>,
     /// Registration, enrollment, quote rounds (Keylime).
-    pub attestation: Rc<dyn AttestationService>,
+    pub attestation: Arc<dyn AttestationService>,
     /// Images and boot targets (BMI).
-    pub provisioning: Rc<dyn ProvisioningService>,
+    pub provisioning: Arc<dyn ProvisioningService>,
     /// Firmware and machine-level operations.
-    pub boot: Rc<dyn BootService>,
+    pub boot: Arc<dyn BootService>,
 }
 
 impl Services {
     /// The standard wiring: `Cloud` backs isolation, provisioning and
     /// boot; the caller supplies the attestation backend.
-    pub fn of_cloud(cloud: &Cloud, attestation: Rc<dyn AttestationService>) -> Services {
-        let backend = Rc::new(cloud.clone());
+    pub fn of_cloud(cloud: &Cloud, attestation: Arc<dyn AttestationService>) -> Services {
+        let backend = Arc::new(cloud.clone());
         Services {
             isolation: backend.clone(),
             attestation,

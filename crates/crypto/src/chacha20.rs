@@ -60,10 +60,22 @@ const WIDE: usize = 16;
 type LaneIv = [u32; 4];
 
 /// Builds `N` consecutive-counter IVs for a single-nonce stream.
-fn seq_ivs<const N: usize>(counter: u32, nonce: &[u32; 3]) -> [LaneIv; N] {
+///
+/// `counter` is the *effective 64-bit* block counter (see
+/// [`ChaCha20::xor`] for the carry scheme): the low 32 bits land in state
+/// word 12 and the overflow carries into the first nonce word, so a
+/// stream crossing the 2³² block boundary keeps drawing fresh keystream
+/// instead of silently wrapping back onto block 0.
+fn seq_ivs<const N: usize>(counter: u64, nonce: &[u32; 3]) -> [LaneIv; N] {
     let mut ivs = [[0u32; 4]; N];
     for (l, iv) in ivs.iter_mut().enumerate() {
-        *iv = [counter.wrapping_add(l as u32), nonce[0], nonce[1], nonce[2]];
+        let c64 = counter.wrapping_add(l as u64);
+        *iv = [
+            c64 as u32,
+            nonce[0].wrapping_add((c64 >> 32) as u32),
+            nonce[1],
+            nonce[2],
+        ];
     }
     ivs
 }
@@ -107,37 +119,50 @@ impl ChaCha20 {
     /// Bulk path: 16 consecutive-counter blocks per wide quarter-round
     /// sweep, dropping to 8- and 4-wide sweeps and finally per-block
     /// calls for the tail.
+    ///
+    /// # Counter overflow
+    ///
+    /// RFC 8439 leaves the behaviour past 2³² blocks (256 GiB) undefined;
+    /// wrapping the 32-bit counter word would silently replay keystream
+    /// from block 0. This implementation instead carries the overflow
+    /// into the first nonce word — treating state words 12–13 as djb's
+    /// original 64-bit block counter (word 13 offset by the caller's
+    /// nonce word). Streams shorter than 2³² blocks are byte-identical to
+    /// the plain RFC layout; longer streams keep drawing fresh keystream.
+    /// Callers that derive one nonce per 2³²-block stream (every caller
+    /// in this workspace) never observe the carry.
     pub fn xor(&self, nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
         let n = nonce_words(nonce);
-        let mut counter = initial_counter;
+        let mut counter = u64::from(initial_counter);
         let mut rest = data;
         while rest.len() >= 64 * WIDE {
             let (batch, tail) = rest.split_at_mut(64 * WIDE);
             self.xor_ivs(&seq_ivs::<WIDE>(counter, &n), batch);
-            counter = counter.wrapping_add(WIDE as u32);
+            counter += WIDE as u64;
             rest = tail;
         }
         if rest.len() >= 64 * 8 {
             let (batch, tail) = rest.split_at_mut(64 * 8);
             self.xor_ivs(&seq_ivs::<8>(counter, &n), batch);
-            counter = counter.wrapping_add(8);
+            counter += 8;
             rest = tail;
         }
         if rest.len() >= 64 * 4 {
             let (batch, tail) = rest.split_at_mut(64 * 4);
             self.xor_ivs(&seq_ivs::<4>(counter, &n), batch);
-            counter = counter.wrapping_add(4);
+            counter += 4;
             rest = tail;
         }
         if !rest.is_empty() {
             let mut state = self.base_state(nonce);
             for chunk in rest.chunks_mut(64) {
-                state[12] = counter;
+                state[12] = counter as u32;
+                state[13] = n[0].wrapping_add((counter >> 32) as u32);
                 let ks = keystream_block(&state);
                 for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                     *b ^= k;
                 }
-                counter = counter.wrapping_add(1);
+                counter += 1;
             }
         }
     }
@@ -433,24 +458,69 @@ mod tests {
         }
     }
 
+    /// Reference for the carry scheme: one block at effective 64-bit
+    /// counter `c64`, computed through the independent single-block path
+    /// by folding the counter overflow into the first nonce word.
+    fn carry_block(key: &Key, nonce: &[u8; NONCE_LEN], c64: u64) -> [u8; 64] {
+        let mut n = *nonce;
+        let w0 = u32::from_le_bytes([n[0], n[1], n[2], n[3]]).wrapping_add((c64 >> 32) as u32);
+        n[..4].copy_from_slice(&w0.to_le_bytes());
+        chacha20_block(key, c64 as u32, &n)
+    }
+
     #[test]
-    fn wide_counter_wraps_like_per_block() {
-        // Counter overflow mid-batch must match the scalar wrapping_add
-        // semantics lane for lane.
+    fn counter_carry_matches_reference_through_every_tier() {
+        // Streams straddling the 2^32-block boundary, with lengths that
+        // route the wrap through the 16-wide, 8-wide, 4-wide and scalar
+        // tail tiers. Every block must match the carried-counter
+        // reference built from the independent single-block function.
         let key = key_from_hexish();
         let cipher = ChaCha20::new(&key);
         let nonce = [3u8; 12];
-        let mut data = vec![0u8; 1024];
-        let mut expect = data.clone();
-        let start = u32::MAX - 3;
-        for (idx, chunk) in expect.chunks_mut(64).enumerate() {
-            let ks = chacha20_block(&key, start.wrapping_add(idx as u32), &nonce);
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                *b ^= k;
+        for (back, len) in [(3u32, 1024usize), (20, 2048), (9, 832), (5, 448), (1, 128)] {
+            let start = u32::MAX - back;
+            let mut data = vec![0u8; len];
+            let mut expect = data.clone();
+            for (idx, chunk) in expect.chunks_mut(64).enumerate() {
+                let ks = carry_block(&key, &nonce, u64::from(start) + idx as u64);
+                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *b ^= k;
+                }
             }
+            cipher.xor(&nonce, start, &mut data);
+            assert_eq!(data, expect, "back={back} len={len}");
         }
-        cipher.xor(&nonce, start, &mut data);
-        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn keystream_is_not_reused_past_the_counter_wrap() {
+        // Regression: the old code advanced the 32-bit counter with
+        // wrapping_add, so the block after 2^32 - 1 replayed block 0's
+        // keystream. Post-wrap blocks must now be fresh.
+        let key = key_from_hexish();
+        let cipher = ChaCha20::new(&key);
+        let nonce = [7u8; 12];
+        // Scalar path: two blocks straddling the boundary.
+        let mut two = [0u8; 128];
+        cipher.xor(&nonce, u32::MAX, &mut two);
+        assert_eq!(&two[..64], &chacha20_block(&key, u32::MAX, &nonce)[..]);
+        assert_ne!(
+            &two[64..],
+            &chacha20_block(&key, 0, &nonce)[..],
+            "post-wrap block replayed block 0 keystream"
+        );
+        // Wide path: a 16-wide sweep straddling the boundary. Old code
+        // made block 4 of this sweep (the first post-wrap lane) equal
+        // block 0 of the counter-0 stream.
+        let mut wide = [0u8; 1024];
+        cipher.xor(&nonce, u32::MAX - 3, &mut wide);
+        let mut from_zero = [0u8; 1024];
+        cipher.xor(&nonce, 0, &mut from_zero);
+        assert_ne!(
+            &wide[4 * 64..5 * 64],
+            &from_zero[..64],
+            "post-wrap lane replayed block 0 keystream"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::montgomery::Montgomery;
 /// A deterministic RNG source for prime generation; implemented by
 /// `bolted_sim::Rng` in practice, duplicated here as a tiny trait so this
 /// crate stays dependency-free.
-pub trait RandomSource {
+pub trait RandomSource: Send {
     /// Returns 64 uniformly random bits.
     fn next_u64(&mut self) -> u64;
 

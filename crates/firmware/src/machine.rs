@@ -13,12 +13,11 @@
 //! * kexec measures the target kernel before jumping into it, keeping
 //!   the chain of trust unbroken (SRTM).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use bolted_crypto::sha256::{sha256, Digest};
+use bolted_sim::lock;
 use bolted_sim::{Sim, SimDuration};
 use bolted_tpm::{index, Tpm};
+use std::sync::{Arc, Mutex};
 
 use crate::image::{FirmwareImage, FirmwareKind, KernelImage};
 
@@ -79,7 +78,7 @@ struct MachineInner {
 /// and the Keylime agent — just like a real machine.
 #[derive(Clone)]
 pub struct Machine {
-    inner: Rc<RefCell<MachineInner>>,
+    inner: Arc<Mutex<MachineInner>>,
 }
 
 impl Machine {
@@ -93,7 +92,7 @@ impl Machine {
         ram_gib: u64,
     ) -> Self {
         Machine {
-            inner: Rc::new(RefCell::new(MachineInner {
+            inner: Arc::new(Mutex::new(MachineInner {
                 name: name.into(),
                 power: PowerState::Off,
                 flash,
@@ -109,39 +108,39 @@ impl Machine {
 
     /// Machine name.
     pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+        lock(&self.inner).name.clone()
     }
 
     /// Current power state.
     pub fn power(&self) -> PowerState {
-        self.inner.borrow().power
+        lock(&self.inner).power
     }
 
     /// RAM size in GiB (drives scrub timing).
     pub fn ram_gib(&self) -> u64 {
-        self.inner.borrow().ram_gib
+        lock(&self.inner).ram_gib
     }
 
     /// Access the TPM with a closure (shared-handle-safe).
     pub fn with_tpm<R>(&self, f: impl FnOnce(&mut Tpm) -> R) -> R {
-        f(&mut self.inner.borrow_mut().tpm)
+        f(&mut lock(&self.inner).tpm)
     }
 
     /// Appends a console line (visible through HIL's console API).
     pub fn console_log(&self, line: impl Into<String>) {
-        self.inner.borrow_mut().console.push(line.into());
+        lock(&self.inner).console.push(line.into());
     }
 
     /// Full console transcript.
     pub fn console(&self) -> Vec<String> {
-        self.inner.borrow().console.clone()
+        lock(&self.inner).console.clone()
     }
 
     // -- power ------------------------------------------------------------
 
     /// Powers on (does not run firmware; call [`Machine::run_firmware`]).
     pub fn power_on(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if inner.power == PowerState::Off {
             inner.power = PowerState::On;
             inner.firmware_ran = false;
@@ -155,7 +154,7 @@ impl Machine {
     /// enough for cold-boot attacks, and the threat model charges the
     /// *firmware*, not the power supply, with scrubbing.
     pub fn power_off(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.power = PowerState::Off;
         inner.booted_kernel = None;
     }
@@ -170,13 +169,13 @@ impl Machine {
 
     /// The image currently in SPI flash.
     pub fn flash(&self) -> FirmwareImage {
-        self.inner.borrow().flash.clone()
+        lock(&self.inner).flash.clone()
     }
 
     /// Reflashes the firmware (provider maintenance — or an attack if the
     /// image is tampered; either way the next boot's measurement changes).
     pub fn reflash(&self, image: FirmwareImage) {
-        self.inner.borrow_mut().flash = image;
+        lock(&self.inner).flash = image;
     }
 
     // -- the measured boot sequence ----------------------------------------
@@ -187,7 +186,7 @@ impl Machine {
     /// Returns the firmware kind that ran.
     pub async fn run_firmware(&self, sim: &Sim) -> Result<FirmwareKind, MachineError> {
         let (post_time, kind, build_id, scrub_time) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             if inner.power != PowerState::On {
                 return Err(MachineError::WrongPowerState);
             }
@@ -207,7 +206,7 @@ impl Machine {
         };
         sim.sleep(post_time).await;
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             inner
                 .tpm
                 .extend_measured(index::FIRMWARE, build_id, format!("firmware:{kind:?}"));
@@ -225,7 +224,7 @@ impl Machine {
     /// Keylime agent, ...) into the boot-code PCR. The paper modified
     /// iPXE to do exactly this (§5).
     pub fn measure_download(&self, name: &str, digest: Digest) -> Result<(), MachineError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.firmware_ran {
             return Err(MachineError::FirmwareNotRun);
         }
@@ -239,7 +238,7 @@ impl Machine {
     /// it. The running occupant's RAM is replaced by the new OS — which
     /// immediately taints RAM with the new occupant's state.
     pub fn kexec(&self, kernel: KernelImage, tenant: &str) -> Result<(), MachineError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.firmware_ran {
             return Err(MachineError::FirmwareNotRun);
         }
@@ -258,14 +257,14 @@ impl Machine {
 
     /// The kernel currently running, if any.
     pub fn booted_kernel(&self) -> Option<KernelImage> {
-        self.inner.borrow().booted_kernel.clone()
+        lock(&self.inner).booted_kernel.clone()
     }
 
     // -- RAM residue ---------------------------------------------------------
 
     /// The running tenant writes secret material into RAM.
     pub fn write_secret_to_ram(&self, tenant: &str, secret: &[u8]) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.ram_residue = Some(RamResidue {
             tenant: tenant.to_string(),
             secret: secret.to_vec(),
@@ -276,18 +275,18 @@ impl Machine {
     /// central after-occupancy threat: `Some(..)` means the previous
     /// tenant's data is exposed.
     pub fn ram_residue(&self) -> Option<RamResidue> {
-        self.inner.borrow().ram_residue.clone()
+        lock(&self.inner).ram_residue.clone()
     }
 
     /// Zeroes RAM (LinuxBoot does this during boot; callable directly for
     /// tests and revocation responses).
     pub fn scrub_memory(&self) {
-        self.inner.borrow_mut().ram_residue = None;
+        lock(&self.inner).ram_residue = None;
     }
 
     /// Digest identifying this machine for logs.
     pub fn identity_digest(&self) -> Digest {
-        sha256(self.inner.borrow().name.as_bytes())
+        sha256(lock(&self.inner).name.as_bytes())
     }
 }
 

@@ -12,9 +12,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
@@ -37,7 +37,7 @@ pub struct NetworkId(pub usize);
 /// BMCs sit on a management network of their own and do fail — commands
 /// can be lost or rejected, so every operation is fallible and callers
 /// are expected to retry.
-pub trait BmcOps {
+pub trait BmcOps: Send + Sync {
     /// Powers the node on (firmware will POST).
     fn power_on(&self) -> Result<(), BmcError>;
     /// Hard power-off.
@@ -142,7 +142,7 @@ struct Node {
     switch: SwitchId,
     port: usize,
     owner: Option<Project>,
-    bmc: Option<Rc<dyn BmcOps>>,
+    bmc: Option<Arc<dyn BmcOps>>,
     metadata: NodeMetadata,
 }
 
@@ -166,7 +166,7 @@ struct HilInner {
 #[derive(Clone)]
 pub struct Hil {
     fabric: Fabric,
-    inner: Rc<RefCell<HilInner>>,
+    inner: Arc<Mutex<HilInner>>,
 }
 
 impl Hil {
@@ -174,7 +174,7 @@ impl Hil {
     pub fn new(fabric: &Fabric) -> Self {
         Hil {
             fabric: fabric.clone(),
-            inner: Rc::new(RefCell::new(HilInner {
+            inner: Arc::new(Mutex::new(HilInner {
                 nodes: Vec::new(),
                 networks: Vec::new(),
                 vlan_pool: (100..1100).rev().collect(),
@@ -188,22 +188,22 @@ impl Hil {
     /// as `hil_ops{op=..}` and the free pool is mirrored into the
     /// `hil_free_nodes` gauge.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        self.inner.borrow().gate.set_metrics(metrics);
+        lock(&self.inner).gate.set_metrics(metrics);
     }
 
     fn log(&self, entry: String) {
-        self.inner.borrow_mut().audit.push(entry);
+        lock(&self.inner).audit.push(entry);
     }
 
     /// Counts one completed operation (called next to the audit log, so
     /// counters and log always agree).
     fn count(&self, op: &str) {
-        let gate = self.inner.borrow().gate.clone();
+        let gate = lock(&self.inner).gate.clone();
         gate.count("hil_ops", "op", op);
     }
 
     fn update_free_gauge(&self) {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         let metrics = inner.gate.metrics();
         if !metrics.is_enabled() {
             return;
@@ -214,7 +214,7 @@ impl Hil {
 
     /// The audit log (every privileged operation, in order).
     pub fn audit_log(&self) -> Vec<String> {
-        self.inner.borrow().audit.clone()
+        lock(&self.inner).audit.clone()
     }
 
     // -- provider (admin) operations --------------------------------------
@@ -226,10 +226,10 @@ impl Hil {
         host: HostId,
         switch: SwitchId,
         port: usize,
-        bmc: Option<Rc<dyn BmcOps>>,
+        bmc: Option<Arc<dyn BmcOps>>,
     ) -> NodeId {
         let name = name.into();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let id = NodeId(inner.nodes.len());
         inner.nodes.push(Node {
             name: name.clone(),
@@ -253,7 +253,7 @@ impl Hil {
 
     /// Publishes a node's TPM EK (admin-modifiable metadata).
     pub fn set_node_ek(&self, node: NodeId, ek: PublicKey) -> Result<(), HilError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let n = inner.nodes.get_mut(node.0).ok_or(HilError::NoSuchNode)?;
         n.metadata.ek_pub = Some(ek);
         Ok(())
@@ -265,7 +265,7 @@ impl Hil {
         node: NodeId,
         whitelist: Vec<Digest>,
     ) -> Result<(), HilError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let n = inner.nodes.get_mut(node.0).ok_or(HilError::NoSuchNode)?;
         n.metadata.platform_whitelist = whitelist;
         Ok(())
@@ -277,9 +277,7 @@ impl Hil {
     /// how the tenant confirms "the server she received is indeed the one
     /// she reserved").
     pub fn node_metadata(&self, node: NodeId) -> Result<NodeMetadata, HilError> {
-        Ok(self
-            .inner
-            .borrow()
+        Ok(lock(&self.inner)
             .nodes
             .get(node.0)
             .ok_or(HilError::NoSuchNode)?
@@ -289,9 +287,7 @@ impl Hil {
 
     /// The node's fabric NIC handle.
     pub fn node_host(&self, node: NodeId) -> Result<HostId, HilError> {
-        Ok(self
-            .inner
-            .borrow()
+        Ok(lock(&self.inner)
             .nodes
             .get(node.0)
             .ok_or(HilError::NoSuchNode)?
@@ -300,9 +296,7 @@ impl Hil {
 
     /// Node display name.
     pub fn node_name(&self, node: NodeId) -> Result<String, HilError> {
-        Ok(self
-            .inner
-            .borrow()
+        Ok(lock(&self.inner)
             .nodes
             .get(node.0)
             .ok_or(HilError::NoSuchNode)?
@@ -312,8 +306,7 @@ impl Hil {
 
     /// Lists nodes in the free pool.
     pub fn free_nodes(&self) -> Vec<NodeId> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .nodes
             .iter()
             .enumerate()
@@ -326,7 +319,7 @@ impl Hil {
 
     /// Allocates a specific free node to `project`.
     pub fn allocate_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let n = inner.nodes.get_mut(node.0).ok_or(HilError::NoSuchNode)?;
         if n.owner.is_some() {
             return Err(HilError::NodeBusy);
@@ -346,7 +339,7 @@ impl Hil {
     pub fn free_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
         self.check_owner(project, node)?;
         let (switch, port, name) = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             // lint: allow(L1-index: check_owner above rejects ids this HIL
             // never minted)
             let n = &mut inner.nodes[node.0];
@@ -368,7 +361,7 @@ impl Hil {
         name: impl Into<String>,
     ) -> Result<NetworkId, HilError> {
         let name = name.into();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let vlan = inner.vlan_pool.pop().ok_or(HilError::NoFreeVlans)?;
         let id = NetworkId(inner.networks.len());
         inner.networks.push(Some(Network {
@@ -384,7 +377,7 @@ impl Hil {
 
     /// Deletes a network, returning its VLAN to the pool.
     pub fn delete_network(&self, project: &str, net: NetworkId) -> Result<(), HilError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let slot = inner
             .networks
             .get_mut(net.0)
@@ -407,7 +400,7 @@ impl Hil {
 
     /// The VLAN id backing a network (visible to its owner).
     pub fn network_vlan(&self, project: &str, net: NetworkId) -> Result<VlanId, HilError> {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         match inner.networks.get(net.0) {
             Some(Some(n)) if n.owner == project => Ok(n.vlan),
             Some(Some(_)) => Err(HilError::NotOwner),
@@ -426,7 +419,7 @@ impl Hil {
         self.check_owner(project, node)?;
         let vlan = self.network_vlan(project, net)?;
         let (switch, port, name) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             // lint: allow(L1-index: check_owner above rejects ids this HIL
             // never minted)
             let n = &inner.nodes[node.0];
@@ -442,7 +435,7 @@ impl Hil {
     pub fn detach_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
         self.check_owner(project, node)?;
         let (switch, port, name) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             // lint: allow(L1-index: check_owner above rejects ids this HIL
             // never minted)
             let n = &inner.nodes[node.0];
@@ -460,7 +453,7 @@ impl Hil {
         self.check_owner(project, node)?;
         // lint: allow(L1-index: check_owner above rejects ids this HIL
         // never minted)
-        let bmc = self.inner.borrow().nodes[node.0].bmc.clone();
+        let bmc = lock(&self.inner).nodes[node.0].bmc.clone();
         if let Some(bmc) = bmc {
             bmc.power_cycle()?;
         }
@@ -474,7 +467,7 @@ impl Hil {
         self.check_owner(project, node)?;
         // lint: allow(L1-index: check_owner above rejects ids this HIL
         // never minted)
-        let bmc = self.inner.borrow().nodes[node.0].bmc.clone();
+        let bmc = lock(&self.inner).nodes[node.0].bmc.clone();
         if let Some(bmc) = bmc {
             bmc.power_off()?;
         }
@@ -484,7 +477,7 @@ impl Hil {
     }
 
     fn check_owner(&self, project: &str, node: NodeId) -> Result<(), HilError> {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         let n = inner.nodes.get(node.0).ok_or(HilError::NoSuchNode)?;
         match &n.owner {
             Some(p) if p == project => Ok(()),
@@ -619,9 +612,8 @@ mod tests {
 
     #[test]
     fn bmc_ops_reach_the_node() {
-        use std::cell::Cell;
         struct FakeBmc {
-            cycles: Cell<u32>,
+            cycles: std::sync::atomic::AtomicU32,
         }
         impl BmcOps for FakeBmc {
             fn power_on(&self) -> Result<(), BmcError> {
@@ -631,13 +623,14 @@ mod tests {
                 Ok(())
             }
             fn power_cycle(&self) -> Result<(), BmcError> {
-                self.cycles.set(self.cycles.get() + 1);
+                self.cycles
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 Ok(())
             }
         }
         let (_sim, fabric, hil, _n1, _n2) = setup();
-        let bmc = Rc::new(FakeBmc {
-            cycles: Cell::new(0),
+        let bmc = Arc::new(FakeBmc {
+            cycles: std::sync::atomic::AtomicU32::new(0),
         });
         let sw = SwitchId(0);
         let h = fabric.add_host("n3", LinkModel::ten_gbe());
@@ -645,7 +638,7 @@ mod tests {
         let n3 = hil.register_node("n3", h, sw, 2, Some(bmc.clone()));
         hil.allocate_node("charlie", n3).expect("allocates");
         hil.power_cycle("charlie", n3).expect("cycles");
-        assert_eq!(bmc.cycles.get(), 1);
+        assert_eq!(bmc.cycles.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert_eq!(
             hil.power_cycle("alice", n3),
             Err(HilError::NotOwner),
@@ -671,7 +664,7 @@ mod tests {
         let sw = SwitchId(0);
         let h = fabric.add_host("n4", LinkModel::ten_gbe());
         fabric.attach(h, sw, 3).expect("attach");
-        let n4 = hil.register_node("n4", h, sw, 3, Some(Rc::new(DeadBmc)));
+        let n4 = hil.register_node("n4", h, sw, 3, Some(Arc::new(DeadBmc)));
         hil.allocate_node("charlie", n4).expect("allocates");
         let err = hil.power_cycle("charlie", n4).unwrap_err();
         assert_eq!(err, HilError::Bmc(BmcError::Unreachable));

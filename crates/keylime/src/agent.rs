@@ -7,14 +7,13 @@
 //! share it got from the tenant, decrypts the payload, and executes the
 //! tenant script (join network, unlock disk, kexec).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use bolted_crypto::chacha20::Key;
 use bolted_crypto::sha256::{sha256, Digest};
 use bolted_firmware::Machine;
+use bolted_sim::lock;
 use bolted_sim::{Sim, SimDuration};
 use bolted_tpm::{CredentialBlob, EventLog, Quote, SealedBlob, TpmError};
+use std::sync::{Arc, Mutex};
 
 use crate::ima::ImaLog;
 use crate::payload::{combine_key, KeyShare, TenantPayload};
@@ -100,8 +99,8 @@ struct AgentInner {
 pub struct Agent {
     id: String,
     machine: Machine,
-    ima: Rc<RefCell<ImaLog>>,
-    inner: Rc<RefCell<AgentInner>>,
+    ima: Arc<Mutex<ImaLog>>,
+    inner: Arc<Mutex<AgentInner>>,
 }
 
 impl Agent {
@@ -116,8 +115,8 @@ impl Agent {
         Agent {
             id: id.into(),
             machine: machine.clone(),
-            ima: Rc::new(RefCell::new(ImaLog::new())),
-            inner: Rc::new(RefCell::new(AgentInner {
+            ima: Arc::new(Mutex::new(ImaLog::new())),
+            inner: Arc::new(Mutex::new(AgentInner {
                 u_share: None,
                 v_share: None,
                 payload: None,
@@ -181,19 +180,19 @@ impl Agent {
         Ok(AttestationEvidence {
             quote: quote?,
             boot_log,
-            ima_log: self.ima.borrow().clone(),
+            ima_log: lock(&self.ima).clone(),
         })
     }
 
     /// The node's kernel reports an IMA-measurable file access.
     pub fn ima_measure(&self, path: &str, content: &[u8]) {
-        let mut log = self.ima.borrow_mut();
+        let mut log = lock(&self.ima);
         self.machine.with_tpm(|t| log.measure(t, path, content));
     }
 
     /// The node's kernel reports an IMA-measurable access by digest.
     pub fn ima_measure_digest(&self, path: &str, digest: Digest) {
-        let mut log = self.ima.borrow_mut();
+        let mut log = lock(&self.ima);
         self.machine
             .with_tpm(|t| log.measure_digest(t, path, digest));
     }
@@ -201,13 +200,13 @@ impl Agent {
     /// Tenant-side delivery of the U key share (over the tenant's own
     /// secure channel, before the node is trusted).
     pub fn deliver_u(&self, u: KeyShare) {
-        self.inner.borrow_mut().u_share = Some(u);
+        lock(&self.inner).u_share = Some(u);
     }
 
     /// Verifier-side delivery of the V key share + sealed payload — only
     /// happens after attestation success.
     pub fn deliver_v_and_payload(&self, v: KeyShare, sealed_payload: &[u8]) -> bool {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.v_share = Some(v);
         let (Some(u), Some(vv)) = (&inner.u_share, &inner.v_share) else {
             return false;
@@ -224,7 +223,7 @@ impl Agent {
 
     /// The decrypted payload, once both shares have arrived.
     pub fn payload(&self) -> Option<TenantPayload> {
-        self.inner.borrow().payload.clone()
+        lock(&self.inner).payload.clone()
     }
 
     /// NVRAM index where the sealed bootstrap key lives.
@@ -238,7 +237,7 @@ impl Agent {
     /// Returns `false` when no complete key is held yet.
     pub fn seal_bootstrap(&self) -> bool {
         let key = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             match (&inner.u_share, &inner.v_share) {
                 (Some(u), Some(v)) => combine_key(u, v),
                 _ => return false,
@@ -273,7 +272,7 @@ impl Agent {
     /// Marks the agent revoked (keys destroyed, node cryptographically
     /// banned). Clears all key material.
     pub fn revoke(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.revoked = true;
         inner.u_share = None;
         inner.v_share = None;
@@ -282,7 +281,7 @@ impl Agent {
 
     /// True once revoked.
     pub fn is_revoked(&self) -> bool {
-        self.inner.borrow().revoked
+        lock(&self.inner).revoked
     }
 }
 
@@ -465,7 +464,7 @@ mod seal_tests {
         let mut rng = XorShiftSource::new(4);
         let (u, v) = split_key(&k, &mut rng);
         agent.deliver_u(u);
-        agent.inner.borrow_mut().v_share = Some(v);
+        lock(&agent.inner).v_share = Some(v);
         (agent, k)
     }
 

@@ -7,9 +7,9 @@
 //! challenge to the node's EK, bound to the claimed AIK; only a TPM
 //! holding both keys can return the matching proof.
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_crypto::hmac::hmac_sha256;
 use bolted_crypto::prime::RandomSource;
@@ -54,8 +54,8 @@ struct Entry {
 /// The registrar service (tenant-deployable).
 #[derive(Clone, Default)]
 pub struct Registrar {
-    inner: Rc<RefCell<HashMap<String, Entry>>>,
-    faults: Rc<RefCell<bolted_sim::Faults>>,
+    inner: Arc<Mutex<HashMap<String, Entry>>>,
+    faults: Arc<Mutex<bolted_sim::Faults>>,
 }
 
 impl Registrar {
@@ -67,7 +67,7 @@ impl Registrar {
     /// Installs a fault-injection handle; registration round-trips
     /// consult it (existing clones of this registrar see it too).
     pub fn set_faults(&self, faults: &bolted_sim::Faults) {
-        *self.faults.borrow_mut() = faults.clone();
+        *lock(&self.faults) = faults.clone();
     }
 
     /// Computes the activation proof for a recovered challenge secret.
@@ -92,7 +92,7 @@ impl Registrar {
         // Model a dropped registration round-trip. Safe to retry: the
         // request never reached the registrar, so no state changed.
         {
-            let faults = self.faults.borrow();
+            let faults = lock(&self.faults);
             if faults.enabled()
                 && faults.decide(bolted_sim::fault::ops::REGISTRAR_REGISTER, agent_id)
                     == bolted_sim::FaultDecision::Fail
@@ -100,7 +100,7 @@ impl Registrar {
                 return Err(RegistrarError::Unavailable);
             }
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         // Re-registration after a reboot is normal (fresh AIK, same EK).
         // What must never succeed is a *different* machine taking over an
         // activated identity.
@@ -126,7 +126,7 @@ impl Registrar {
 
     /// Completes registration with the agent's activation proof.
     pub fn activate(&self, agent_id: &str, proof: &Digest) -> Result<(), RegistrarError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let e = inner.get_mut(agent_id).ok_or(RegistrarError::Unknown)?;
         if !bolted_crypto::ct::ct_eq(e.expected_proof.as_bytes(), proof.as_bytes()) {
             return Err(RegistrarError::BadProof);
@@ -137,7 +137,7 @@ impl Registrar {
 
     /// Returns the certified AIK for an agent — only once activated.
     pub fn certified_aik(&self, agent_id: &str) -> Option<PublicKey> {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         inner
             .get(agent_id)
             .filter(|e| e.activated)
@@ -147,7 +147,7 @@ impl Registrar {
     /// Returns the EK the agent registered with (for cross-checking
     /// against HIL's published node metadata).
     pub fn registered_ek(&self, agent_id: &str) -> Option<PublicKey> {
-        self.inner.borrow().get(agent_id).map(|e| e.ek.clone())
+        lock(&self.inner).get(agent_id).map(|e| e.ek.clone())
     }
 }
 

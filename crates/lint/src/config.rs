@@ -181,6 +181,11 @@ pub struct Config {
     /// Crate directory names (under `crates/`) forming the no-panic
     /// control plane (rule L1).
     pub control_plane: Vec<String>,
+    /// Individual workspace-relative files held to the same L1 standard
+    /// without pulling their whole crate in — the executor and pool
+    /// modules of `bolted-sim`, which every control-plane future now
+    /// runs on.
+    pub control_plane_files: Vec<String>,
     /// Workspace-relative path of the service-trait definitions
     /// (rule L3 reads the trait methods from here).
     pub services_path: String,
@@ -199,17 +204,23 @@ impl Config {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            control_plane_files: ["crates/sim/src/executor.rs", "crates/sim/src/pool.rs"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             services_path: "crates/core/src/services.rs".to_string(),
             fault_ops_path: "crates/sim/src/fault.rs".to_string(),
             secrets: SecretsManifest::default(),
         }
     }
 
-    /// True when `path` (workspace-relative) is in a control-plane crate.
+    /// True when `path` (workspace-relative) is in a control-plane crate
+    /// or is one of the individually listed control-plane files.
     pub fn in_control_plane(&self, path: &str) -> bool {
         self.control_plane
             .iter()
             .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+            || self.control_plane_files.iter().any(|f| f == path)
     }
 }
 

@@ -12,9 +12,9 @@
 // indexed by ids this module mints and never recycles; an id cannot
 // outlive the fabric that created it, so indexing is total)
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_crypto::cost::CipherCost;
 use bolted_sim::fault::{ops, Faults};
@@ -164,9 +164,9 @@ struct FabricInner {
 #[derive(Clone)]
 pub struct Fabric {
     sim: Sim,
-    inner: Rc<RefCell<FabricInner>>,
-    tx_locks: Rc<RefCell<Vec<Resource>>>,
-    rx_locks: Rc<RefCell<Vec<Resource>>>,
+    inner: Arc<Mutex<FabricInner>>,
+    tx_locks: Arc<Mutex<Vec<Resource>>>,
+    rx_locks: Arc<Mutex<Vec<Resource>>>,
 }
 
 impl Fabric {
@@ -174,7 +174,7 @@ impl Fabric {
     pub fn new(sim: &Sim) -> Self {
         Fabric {
             sim: sim.clone(),
-            inner: Rc::new(RefCell::new(FabricInner {
+            inner: Arc::new(Mutex::new(FabricInner {
                 switches: Vec::new(),
                 hosts: Vec::new(),
                 trunks: Vec::new(),
@@ -183,14 +183,14 @@ impl Fabric {
                 violations: 0,
                 gate: OpGate::disabled(),
             })),
-            tx_locks: Rc::new(RefCell::new(Vec::new())),
-            rx_locks: Rc::new(RefCell::new(Vec::new())),
+            tx_locks: Arc::new(Mutex::new(Vec::new())),
+            rx_locks: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// Adds a switch with `ports` access ports.
     pub fn add_switch(&self, name: impl Into<String>, ports: usize) -> SwitchId {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let id = inner.switches.len();
         inner.switches.push(Switch {
             name: name.into(),
@@ -206,12 +206,12 @@ impl Fabric {
 
     /// Trunks two switches together (all VLANs carried).
     pub fn trunk(&self, a: SwitchId, b: SwitchId) {
-        self.inner.borrow_mut().trunks.push((a.0, b.0));
+        lock(&self.inner).trunks.push((a.0, b.0));
     }
 
     /// Registers a host NIC (not yet attached to any port).
     pub fn add_host(&self, name: impl Into<String>, link: LinkModel) -> HostId {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let id = inner.hosts.len();
         inner.hosts.push(HostState {
             name: name.into(),
@@ -222,14 +222,14 @@ impl Fabric {
             bytes_sent: 0,
             bytes_received: 0,
         });
-        self.tx_locks.borrow_mut().push(Resource::new(&self.sim, 1));
-        self.rx_locks.borrow_mut().push(Resource::new(&self.sim, 1));
+        lock(&self.tx_locks).push(Resource::new(&self.sim, 1));
+        lock(&self.rx_locks).push(Resource::new(&self.sim, 1));
         HostId(id)
     }
 
     /// Cables a host NIC into a switch port.
     pub fn attach(&self, host: HostId, switch: SwitchId, port: usize) -> Result<(), NetError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let sw = inner.switches.get(switch.0).ok_or(NetError::NoSuchPort)?;
         let p = sw.ports.get(port).ok_or(NetError::NoSuchPort)?;
         if p.host.is_some() {
@@ -242,7 +242,7 @@ impl Fabric {
 
     /// Uncables a host.
     pub fn detach(&self, host: HostId) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if let Some((sw, port)) = inner.hosts[host.0].attached.take() {
             inner.switches[sw].ports[port].host = None;
         }
@@ -251,13 +251,13 @@ impl Fabric {
     /// Installs a fault-injection handle; subsequent control-plane calls
     /// (VLAN programming) consult it.
     pub fn set_faults(&self, faults: &Faults) {
-        self.inner.borrow().gate.set_faults(faults);
+        lock(&self.inner).gate.set_faults(faults);
     }
 
     /// Attaches a metrics registry; VLAN programming is counted as
     /// `switch_vlan_sets{target=<attached host>}`.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        self.inner.borrow().gate.set_metrics(metrics);
+        lock(&self.inner).gate.set_metrics(metrics);
     }
 
     /// Sets (or clears) the access VLAN of a switch port.
@@ -268,7 +268,7 @@ impl Fabric {
         port: usize,
         vlan: Option<VlanId>,
     ) -> Result<(), NetError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if inner.gate.is_live() {
             // Key the fault stream by the attached host's name so chaos
             // plans can target "that node's switch port" symbolically.
@@ -295,9 +295,7 @@ impl Fabric {
 
     /// Convenience: sets the VLAN of the port a host is attached to.
     pub fn set_host_vlan(&self, host: HostId, vlan: Option<VlanId>) -> Result<(), NetError> {
-        let (sw, port) = self
-            .inner
-            .borrow()
+        let (sw, port) = lock(&self.inner)
             .hosts
             .get(host.0)
             .and_then(|h| h.attached)
@@ -307,42 +305,41 @@ impl Fabric {
 
     /// The VLAN a host currently sits on.
     pub fn host_vlan(&self, host: HostId) -> Option<VlanId> {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         let (sw, port) = inner.hosts.get(host.0)?.attached?;
         inner.switches[sw].ports[port].vlan
     }
 
     /// The host's configured link model.
     pub fn host_link(&self, host: HostId) -> LinkModel {
-        self.inner.borrow().hosts[host.0].link
+        lock(&self.inner).hosts[host.0].link
     }
 
     /// Host display name.
     pub fn host_name(&self, host: HostId) -> String {
-        self.inner.borrow().hosts[host.0].name.clone()
+        lock(&self.inner).hosts[host.0].name.clone()
     }
 
     /// Bytes sent / received by a host so far.
     pub fn host_traffic(&self, host: HostId) -> (u64, u64) {
-        let h = &self.inner.borrow().hosts[host.0];
+        let h = &lock(&self.inner).hosts[host.0];
         (h.bytes_sent, h.bytes_received)
     }
 
     /// Number of delivery attempts dropped by VLAN isolation.
     pub fn isolation_violations(&self) -> u64 {
-        self.inner.borrow().violations
+        lock(&self.inner).violations
     }
 
     /// Enables wire taps: every payload crossing each VLAN is recorded
     /// (models an eavesdropping provider or tenant).
     pub fn enable_taps(&self) {
-        self.inner.borrow_mut().tap_enabled = true;
+        lock(&self.inner).tap_enabled = true;
     }
 
     /// Returns all payloads observed on `vlan` since taps were enabled.
     pub fn tapped(&self, vlan: VlanId) -> Vec<Vec<u8>> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .taps
             .get(&vlan)
             .cloned()
@@ -352,7 +349,7 @@ impl Fabric {
     /// Checks L2 reachability: both attached, same (non-None) VLAN, and a
     /// trunk path between their switches. Returns the common VLAN.
     pub fn path(&self, from: HostId, to: HostId) -> Result<VlanId, NetError> {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         let (sw_a, p_a) = inner
             .hosts
             .get(from.0)
@@ -421,14 +418,14 @@ impl Fabric {
             Ok(v) => v,
             Err(e) => {
                 if matches!(e, NetError::IsolationViolation) {
-                    self.inner.borrow_mut().violations += 1;
+                    lock(&self.inner).violations += 1;
                 }
                 return Err(e);
             }
         };
         let _ = vlan;
         let (link, latency) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             let la = inner.hosts[from.0].link;
             let lb = inner.hosts[to.0].link;
             // Bottleneck link governs serialisation; worst latency applies.
@@ -440,8 +437,8 @@ impl Fabric {
             (link, la.latency.max(lb.latency))
         };
         let overhead = if spec.esp { ESP_OVERHEAD_BYTES } else { 0 };
-        let tx = self.tx_locks.borrow()[from.0].clone();
-        let rx = self.rx_locks.borrow()[to.0].clone();
+        let tx = lock(&self.tx_locks)[from.0].clone();
+        let rx = lock(&self.rx_locks)[to.0].clone();
         let wire_payload = spec.padded_len(bytes);
         let mut remaining = wire_payload;
         loop {
@@ -461,7 +458,7 @@ impl Fabric {
         }
         self.sim.sleep(latency).await;
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             inner.hosts[from.0].bytes_sent += wire_payload;
             inner.hosts[to.0].bytes_received += wire_payload;
         }
@@ -482,7 +479,7 @@ impl Fabric {
     ) -> Result<(), NetError> {
         let vlan = self.path(from, to)?;
         self.transfer(from, to, payload.len() as u64, spec).await?;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if inner.tap_enabled {
             // The tap sees the padded wire frame, not the logical payload.
             let mut frame = payload.clone();
@@ -503,7 +500,7 @@ impl Fabric {
     pub async fn recv_msg(&self, host: HostId) -> Message {
         loop {
             let ev = {
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = lock(&self.inner);
                 if let Some(msg) = inner.hosts[host.0].mailbox.pop_front() {
                     return msg;
                 }
@@ -518,7 +515,7 @@ impl Fabric {
 
     /// Non-blocking mailbox poll.
     pub fn try_recv_msg(&self, host: HostId) -> Option<Message> {
-        self.inner.borrow_mut().hosts[host.0].mailbox.pop_front()
+        lock(&self.inner).hosts[host.0].mailbox.pop_front()
     }
 }
 

@@ -3,7 +3,7 @@
 //! Fault injection, op counters, retry accounting and span windows used
 //! to be hand-threaded through each call site — the BMC adapter, the
 //! switch management plane, the iSCSI gateway and the Keylime verifier
-//! each carried their own `Rc<RefCell<Faults>>`/`Metrics` pair plus the
+//! each carried their own `Arc<Mutex<Faults>>`/`Metrics` pair plus the
 //! same install/clone/consult boilerplate. This module folds that
 //! plumbing into two small shared handles:
 //!
@@ -16,15 +16,16 @@
 //!   fronts [`retry_if_observed`] so retried service calls are uniformly
 //!   counted and backed off, and phase spans open and close in one place.
 //!
-//! Both are cheap to clone and use double indirection (`Rc<RefCell<…>>`)
+//! Both are cheap to clone and use double indirection (`Arc<Mutex<…>>`)
 //! so a handle installed *after* a component was cloned into its
 //! consumers is still seen by every clone. With nothing installed, both
 //! are free: no RNG draws, no allocation, no timers.
 
-use std::cell::RefCell;
 use std::future::Future;
-use std::rc::Rc;
 
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
 use crate::executor::Sim;
 use crate::fault::{FaultDecision, FaultInjected, Faults};
 use crate::metrics::Metrics;
@@ -46,14 +47,14 @@ struct GateInner {
 /// [`OpGate::pass`] — the async latency-injecting gate — takes a [`Sim`].
 #[derive(Clone)]
 pub struct OpGate {
-    inner: Rc<RefCell<GateInner>>,
+    inner: Arc<Mutex<GateInner>>,
 }
 
 impl OpGate {
     /// A gate with nothing installed: counts nowhere, injects nothing.
     pub fn disabled() -> Self {
         OpGate {
-            inner: Rc::new(RefCell::new(GateInner {
+            inner: Arc::new(Mutex::new(GateInner {
                 faults: Faults::disabled(),
                 metrics: Metrics::disabled(),
             })),
@@ -71,29 +72,29 @@ impl OpGate {
     /// Installs a fault-injection handle; every clone of this gate
     /// (including ones taken before this call) consults it.
     pub fn set_faults(&self, faults: &Faults) {
-        self.inner.borrow_mut().faults = faults.clone();
+        lock(&self.inner).faults = faults.clone();
     }
 
     /// Attaches a metrics registry; every clone of this gate sees it.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        self.inner.borrow_mut().metrics = metrics.clone();
+        lock(&self.inner).metrics = metrics.clone();
     }
 
     /// The installed fault handle (a cheap shared clone).
     pub fn faults(&self) -> Faults {
-        self.inner.borrow().faults.clone()
+        lock(&self.inner).faults.clone()
     }
 
     /// The installed metrics registry (a cheap shared clone).
     pub fn metrics(&self) -> Metrics {
-        self.inner.borrow().metrics.clone()
+        lock(&self.inner).metrics.clone()
     }
 
     /// True when counting or injecting would observe anything. Sync call
     /// sites that must build a target string per call check this first so
     /// the disabled path allocates nothing.
     pub fn is_live(&self) -> bool {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         inner.faults.enabled() || inner.metrics.is_enabled()
     }
 
@@ -103,7 +104,7 @@ impl OpGate {
     /// stretch virtual time — so only `Fail` is observable.
     pub fn tap(&self, counter: &str, op: &str, target: &str) -> Result<(), FaultInjected> {
         let (faults, metrics) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             (inner.faults.clone(), inner.metrics.clone())
         };
         metrics.inc(counter, &[("target", target)]);
@@ -155,7 +156,7 @@ pub struct PhaseHandle {
 #[derive(Clone)]
 pub struct CallEnv {
     sim: Sim,
-    inner: Rc<RefCell<EnvInner>>,
+    inner: Arc<Mutex<EnvInner>>,
 }
 
 impl CallEnv {
@@ -164,7 +165,7 @@ impl CallEnv {
     pub fn new(sim: &Sim) -> Self {
         CallEnv {
             sim: sim.clone(),
-            inner: Rc::new(RefCell::new(EnvInner {
+            inner: Arc::new(Mutex::new(EnvInner {
                 faults: Faults::disabled(),
                 spans: Spans::disabled(),
                 metrics: Metrics::disabled(),
@@ -179,29 +180,29 @@ impl CallEnv {
 
     /// Installs a fault-injection handle (seen by every clone).
     pub fn set_faults(&self, faults: &Faults) {
-        self.inner.borrow_mut().faults = faults.clone();
+        lock(&self.inner).faults = faults.clone();
     }
 
     /// Installs span + metrics recorders (seen by every clone).
     pub fn set_observability(&self, spans: &Spans, metrics: &Metrics) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.spans = spans.clone();
         inner.metrics = metrics.clone();
     }
 
     /// The installed fault handle (a cheap shared clone).
     pub fn faults(&self) -> Faults {
-        self.inner.borrow().faults.clone()
+        lock(&self.inner).faults.clone()
     }
 
     /// The installed span recorder (a cheap shared clone).
     pub fn spans(&self) -> Spans {
-        self.inner.borrow().spans.clone()
+        lock(&self.inner).spans.clone()
     }
 
     /// The installed metrics registry (a cheap shared clone).
     pub fn metrics(&self) -> Metrics {
-        self.inner.borrow().metrics.clone()
+        lock(&self.inner).metrics.clone()
     }
 
     /// Runs `op` under `policy`, retrying only errors `is_transient`
@@ -311,7 +312,7 @@ mod tests {
             let env = env.clone();
             async move {
                 let mut rng = Rng::seed_from_u64(1);
-                let attempts = Rc::new(RefCell::new(0u32));
+                let attempts = Arc::new(Mutex::new(0u32));
                 env.call(
                     &policy,
                     &mut rng,
@@ -320,7 +321,7 @@ mod tests {
                     || {
                         let attempts = attempts.clone();
                         async move {
-                            let mut n = attempts.borrow_mut();
+                            let mut n = lock(&attempts);
                             *n += 1;
                             if *n < 3 {
                                 Err("transient")

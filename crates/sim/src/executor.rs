@@ -6,6 +6,14 @@
 //! pending timer. Events at equal timestamps run in FIFO spawn/wake order,
 //! so the whole simulation is exactly reproducible.
 //!
+//! The handle (and every task it runs) is `Send + Sync`: a simulation can
+//! be built on one thread, driven on another, and its results shipped
+//! back — the substrate for sharded multi-core fleet runs (see
+//! [`crate::pool`]). Determinism is per-`Sim`: one instance is still
+//! driven by one [`Sim::run`] call at a time, and all interior state is
+//! behind locks/atomics so nothing about that contract depends on which
+//! thread drives it.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,23 +30,32 @@
 //! assert_eq!(out, 40.0);
 //! ```
 
-use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::time::{SimDuration, SimTime};
 
 type TaskId = u64;
-type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+/// Task futures must be `Send`: this bound is what forces the whole
+/// control plane off `Rc<RefCell<…>>` and onto `Arc<Mutex<…>>`, and is
+/// checked at every [`Sim::spawn`] call site by the compiler.
+type TaskFuture = Pin<Box<dyn Future<Output = ()> + Send>>;
 
-/// Queue of tasks made runnable by wakers. This is the only `Send + Sync`
-/// piece of the executor (the `Waker` contract requires it), but the
-/// executor itself is single-threaded.
+/// Locks a mutex, recovering the data if a panicking thread poisoned it.
+/// Workspace-wide convention for all converted `Rc<RefCell<…>>` state:
+/// every protected value is coherent on its own (no invariant spans a
+/// lock acquisition), so poisoning adds nothing but a panic-free unwrap.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Queue of tasks made runnable by wakers. Shared with every task's
+/// `Waker`, which may fire from any thread.
 #[derive(Default)]
 struct ReadyQueue {
     queue: Mutex<VecDeque<TaskId>>,
@@ -46,14 +63,11 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(id);
+        lock(&self.queue).push_back(id);
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().expect("ready queue poisoned").pop_front()
+        lock(&self.queue).pop_front()
     }
 }
 
@@ -98,22 +112,26 @@ impl Ord for TimerEntry {
 }
 
 struct SimInner {
-    now: Cell<SimTime>,
-    next_task_id: Cell<TaskId>,
-    next_seq: Cell<u64>,
-    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
-    timers: RefCell<BinaryHeap<TimerEntry>>,
+    /// Virtual clock, in nanoseconds. Only [`Sim::run`] writes it; tasks
+    /// read it freely from any thread.
+    now_nanos: AtomicU64,
+    next_task_id: AtomicU64,
+    next_seq: AtomicU64,
+    tasks: Mutex<HashMap<TaskId, TaskFuture>>,
+    timers: Mutex<BinaryHeap<TimerEntry>>,
     ready: Arc<ReadyQueue>,
-    events_processed: Cell<u64>,
+    events_processed: AtomicU64,
 }
 
 /// Handle to a deterministic virtual-time simulation.
 ///
 /// Cheap to clone; all clones share the same clock, task set, and timer
-/// queue. Not `Send`: a simulation lives on one thread by design.
+/// queue. `Send + Sync`: the handle can cross threads (a shard worker can
+/// build, drive, and report on a whole simulation), but determinism
+/// still requires that a single thread call [`Sim::run`] at a time.
 #[derive(Clone)]
 pub struct Sim {
-    inner: Rc<SimInner>,
+    inner: Arc<SimInner>,
 }
 
 impl Default for Sim {
@@ -126,51 +144,50 @@ impl Sim {
     /// Creates a new simulation with the clock at zero.
     pub fn new() -> Self {
         Sim {
-            inner: Rc::new(SimInner {
-                now: Cell::new(SimTime::ZERO),
-                next_task_id: Cell::new(0),
-                next_seq: Cell::new(0),
-                tasks: RefCell::new(HashMap::new()),
-                timers: RefCell::new(BinaryHeap::new()),
+            inner: Arc::new(SimInner {
+                now_nanos: AtomicU64::new(0),
+                next_task_id: AtomicU64::new(0),
+                next_seq: AtomicU64::new(0),
+                tasks: Mutex::new(HashMap::new()),
+                timers: Mutex::new(BinaryHeap::new()),
                 ready: Arc::new(ReadyQueue::default()),
-                events_processed: Cell::new(0),
+                events_processed: AtomicU64::new(0),
             }),
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.inner.now.get()
+        SimTime::from_nanos(self.inner.now_nanos.load(AtomicOrdering::SeqCst))
     }
 
     /// Total number of task polls performed so far (an engine metric).
     pub fn events_processed(&self) -> u64 {
-        self.inner.events_processed.get()
+        self.inner.events_processed.load(AtomicOrdering::Relaxed)
     }
 
     /// Spawns a task onto the simulation and returns a handle that can be
     /// awaited for its output.
     pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
     where
-        F: Future + 'static,
-        F::Output: 'static,
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
     {
-        let state = Rc::new(RefCell::new(JoinState::<F::Output> {
+        let state = Arc::new(Mutex::new(JoinState::<F::Output> {
             result: None,
             waiters: Vec::new(),
         }));
-        let state2 = Rc::clone(&state);
+        let state2 = Arc::clone(&state);
         let wrapped = async move {
             let out = fut.await;
-            let mut st = state2.borrow_mut();
+            let mut st = lock(&state2);
             st.result = Some(out);
             for w in st.waiters.drain(..) {
                 w.wake();
             }
         };
-        let id = self.inner.next_task_id.get();
-        self.inner.next_task_id.set(id + 1);
-        self.inner.tasks.borrow_mut().insert(id, Box::pin(wrapped));
+        let id = self.inner.next_task_id.fetch_add(1, AtomicOrdering::SeqCst);
+        lock(&self.inner.tasks).insert(id, Box::pin(wrapped));
         self.inner.ready.push(id);
         JoinHandle { state }
     }
@@ -191,9 +208,8 @@ impl Sim {
     /// Registers `waker` to fire at `deadline`. Used by [`Sleep`] and by
     /// the synchronisation primitives in [`crate::sync`].
     pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
-        let seq = self.inner.next_seq.get();
-        self.inner.next_seq.set(seq + 1);
-        self.inner.timers.borrow_mut().push(TimerEntry {
+        let seq = self.inner.next_seq.fetch_add(1, AtomicOrdering::SeqCst);
+        lock(&self.inner.timers).push(TimerEntry {
             deadline,
             seq,
             waker,
@@ -205,16 +221,18 @@ impl Sim {
     /// blocked forever (0 means everything completed).
     pub fn run(&self) -> usize {
         loop {
-            // Drain every currently runnable task.
+            // Drain every currently runnable task. The future is removed
+            // from the table before polling so no lock is held across the
+            // poll (tasks may spawn, register timers, or wake others).
             while let Some(id) = self.inner.ready.pop() {
-                let fut = self.inner.tasks.borrow_mut().remove(&id);
+                let fut = lock(&self.inner.tasks).remove(&id);
                 let Some(mut fut) = fut else {
                     // Task already completed; stale wake.
                     continue;
                 };
                 self.inner
                     .events_processed
-                    .set(self.inner.events_processed.get() + 1);
+                    .fetch_add(1, AtomicOrdering::Relaxed);
                 let waker = Waker::from(Arc::new(TaskWaker {
                     ready: Arc::clone(&self.inner.ready),
                     id,
@@ -223,25 +241,25 @@ impl Sim {
                 match fut.as_mut().poll(&mut cx) {
                     Poll::Ready(()) => {}
                     Poll::Pending => {
-                        self.inner.tasks.borrow_mut().insert(id, fut);
+                        lock(&self.inner.tasks).insert(id, fut);
                     }
                 }
             }
             // Nothing runnable: advance the clock to the earliest timer.
-            let next = {
-                let mut timers = self.inner.timers.borrow_mut();
-                timers.pop()
-            };
+            let next = lock(&self.inner.timers).pop();
             match next {
                 Some(entry) => {
                     debug_assert!(entry.deadline >= self.now(), "time went backwards");
-                    self.inner.now.set(entry.deadline);
+                    self.inner
+                        .now_nanos
+                        .store(entry.deadline.as_nanos(), AtomicOrdering::SeqCst);
                     entry.waker.wake();
                     // Also release every other timer at the same instant so
                     // simultaneous events interleave in registration order.
                     loop {
-                        let mut timers = self.inner.timers.borrow_mut();
+                        let mut timers = lock(&self.inner.timers);
                         if timers.peek().is_some_and(|e| e.deadline == entry.deadline) {
+                            // lint: allow(L1-panic: pop follows a successful peek under the same lock)
                             let e = timers.pop().expect("peeked entry");
                             drop(timers);
                             e.waker.wake();
@@ -253,7 +271,7 @@ impl Sim {
                 None => break,
             }
         }
-        self.inner.tasks.borrow().len()
+        lock(&self.inner.tasks).len()
     }
 
     /// Spawns `fut`, runs the simulation to quiescence, and returns the
@@ -265,11 +283,12 @@ impl Sim {
     /// task will ever signal).
     pub fn block_on<F>(&self, fut: F) -> F::Output
     where
-        F: Future + 'static,
-        F::Output: 'static,
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
     {
         let handle = self.spawn(fut);
         self.run();
+        // lint: allow(L1-panic: documented deadlock panic — the contract of block_on)
         handle
             .try_take()
             .expect("block_on: root future deadlocked (no runnable tasks, no timers)")
@@ -283,18 +302,18 @@ struct JoinState<T> {
 
 /// Handle returned by [`Sim::spawn`]; awaiting it yields the task output.
 pub struct JoinHandle<T> {
-    state: Rc<RefCell<JoinState<T>>>,
+    state: Arc<Mutex<JoinState<T>>>,
 }
 
 impl<T> JoinHandle<T> {
     /// Returns the output if the task has completed, consuming it.
     pub fn try_take(&self) -> Option<T> {
-        self.state.borrow_mut().result.take()
+        lock(&self.state).result.take()
     }
 
     /// True if the task has finished (output may already have been taken).
     pub fn is_finished(&self) -> bool {
-        self.state.borrow().result.is_some()
+        lock(&self.state).result.is_some()
     }
 }
 
@@ -302,7 +321,7 @@ impl<T> Future for JoinHandle<T> {
     type Output = T;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
-        let mut st = self.state.borrow_mut();
+        let mut st = lock(&self.state);
         if let Some(v) = st.result.take() {
             Poll::Ready(v)
         } else {
@@ -343,13 +362,20 @@ pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     #[test]
     fn clock_starts_at_zero() {
         let sim = Sim::new();
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sim_and_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Sim>();
+        assert_send::<JoinHandle<u64>>();
+        assert_send::<Sleep>();
     }
 
     #[test]
@@ -368,33 +394,33 @@ mod tests {
     #[test]
     fn concurrent_tasks_interleave_by_time() {
         let sim = Sim::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for (name, delay) in [("b", 20u64), ("a", 10), ("c", 30)] {
             let sim2 = sim.clone();
-            let log2 = Rc::clone(&log);
+            let log2 = Arc::clone(&log);
             sim.spawn(async move {
                 sim2.sleep(SimDuration::from_secs(delay)).await;
-                log2.borrow_mut().push(name);
+                lock(&log2).push(name);
             });
         }
         assert_eq!(sim.run(), 0);
-        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(*lock(&log), vec!["a", "b", "c"]);
     }
 
     #[test]
     fn simultaneous_events_run_in_spawn_order() {
         let sim = Sim::new();
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..5 {
             let sim2 = sim.clone();
-            let log2 = Rc::clone(&log);
+            let log2 = Arc::clone(&log);
             sim.spawn(async move {
                 sim2.sleep(SimDuration::from_secs(1)).await;
-                log2.borrow_mut().push(i);
+                lock(&log2).push(i);
             });
         }
         sim.run();
-        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(*lock(&log), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -477,23 +503,47 @@ mod tests {
     fn determinism_two_identical_runs() {
         fn run_once() -> Vec<(u64, u64)> {
             let sim = Sim::new();
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Arc::new(Mutex::new(Vec::new()));
             for i in 0..10u64 {
                 let sim2 = sim.clone();
-                let log2 = Rc::clone(&log);
+                let log2 = Arc::clone(&log);
                 sim.spawn(async move {
                     let mut rng = crate::rng::Rng::seed_from_u64(i);
                     for _ in 0..5 {
                         sim2.sleep(SimDuration::from_nanos(rng.gen_range(1000) + 1))
                             .await;
-                        log2.borrow_mut().push((i, sim2.now().as_nanos()));
+                        lock(&log2).push((i, sim2.now().as_nanos()));
                     }
                 });
             }
             sim.run();
-            Rc::try_unwrap(log).expect("sole owner").into_inner()
+            let log = Arc::try_unwrap(log)
+                .map_err(|_| "sole owner")
+                .expect("sole owner");
+            log.into_inner().expect("unpoisoned")
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn a_sim_built_here_can_be_driven_on_another_thread() {
+        let sim = Sim::new();
+        let handle = sim.spawn({
+            let sim = sim.clone();
+            async move {
+                sim.sleep(SimDuration::from_secs(3)).await;
+                sim.now().as_nanos()
+            }
+        });
+        let sim2 = sim.clone();
+        let nanos = std::thread::spawn(move || {
+            sim2.run();
+            handle.try_take().expect("task completed")
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(nanos, 3_000_000_000);
+        assert_eq!(sim.now().as_nanos(), 3_000_000_000);
     }
 
     #[test]

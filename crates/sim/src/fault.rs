@@ -24,10 +24,11 @@
 //!   per `(op, target)` pair, so "fail twice then recover" is exact, not
 //!   probabilistic.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
 use crate::executor::Sim;
 use crate::metrics::Metrics;
 use crate::rng::{Rng, SplitMix64};
@@ -238,7 +239,7 @@ struct FaultsInner {
 /// it was threaded through.
 #[derive(Clone, Default)]
 pub struct Faults {
-    inner: Rc<RefCell<FaultsInner>>,
+    inner: Arc<Mutex<FaultsInner>>,
 }
 
 impl Faults {
@@ -250,7 +251,7 @@ impl Faults {
     /// A handle evaluating `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         Faults {
-            inner: Rc::new(RefCell::new(FaultsInner {
+            inner: Arc::new(Mutex::new(FaultsInner {
                 plan,
                 ..FaultsInner::default()
             })),
@@ -261,7 +262,7 @@ impl Faults {
     /// per-key streams, attempt counters and injection tallies. An
     /// attached metrics registry survives the reset.
     pub fn install(&self, plan: FaultPlan) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let metrics = inner.metrics.clone();
         *inner = FaultsInner {
             plan,
@@ -274,18 +275,18 @@ impl Faults {
     /// `faults_injected{op=.., target=..}` in addition to the built-in
     /// per-op tallies.
     pub fn set_metrics(&self, metrics: &Metrics) {
-        self.inner.borrow_mut().metrics = metrics.clone();
+        lock(&self.inner).metrics = metrics.clone();
     }
 
     /// True when any rule is installed (fast path check for sync sites
     /// that would otherwise build target strings per call).
     pub fn enabled(&self) -> bool {
-        !self.inner.borrow().plan.is_empty()
+        !lock(&self.inner).plan.is_empty()
     }
 
     /// Decides the fate of one attempt of `op` against `target`.
     pub fn decide(&self, op: &str, target: &str) -> FaultDecision {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let Some(spec) = inner.plan.lookup(op, target).cloned() else {
             return FaultDecision::Allow;
         };
@@ -341,12 +342,12 @@ impl Faults {
 
     /// How many failures have been injected for `op` so far.
     pub fn injected(&self, op: &str) -> u64 {
-        self.inner.borrow().injected.get(op).copied().unwrap_or(0)
+        lock(&self.inner).injected.get(op).copied().unwrap_or(0)
     }
 
     /// Total failures injected across all operations.
     pub fn total_injected(&self) -> u64 {
-        self.inner.borrow().injected.values().sum()
+        lock(&self.inner).injected.values().sum()
     }
 }
 
@@ -363,8 +364,8 @@ mod tests {
         assert!(!f.enabled());
         assert_eq!(f.total_injected(), 0);
         // No streams or counters materialised.
-        assert!(f.inner.borrow().streams.is_empty());
-        assert!(f.inner.borrow().attempts.is_empty());
+        assert!(lock(&f.inner).streams.is_empty());
+        assert!(lock(&f.inner).attempts.is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod call;
 mod executor;
 pub mod fault;
 pub mod metrics;
+pub mod pool;
 mod retry;
 mod rng;
 pub mod span;
@@ -27,9 +28,10 @@ mod time;
 mod trace;
 
 pub use call::{CallEnv, OpGate, PhaseHandle};
-pub use executor::{join_all, JoinHandle, Sim, Sleep};
+pub use executor::{join_all, lock, JoinHandle, Sim, Sleep};
 pub use fault::{FaultDecision, FaultInjected, FaultPlan, FaultSpec, Faults};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use pool::{max_workers, run_jobs};
 pub use retry::{retry, retry_if, retry_if_observed, with_timeout, RetryError, RetryPolicy};
 pub use rng::{Rng, SplitMix64};
 pub use span::{SpanGuard, SpanId, SpanRecord, Spans};

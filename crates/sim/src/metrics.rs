@@ -16,11 +16,12 @@
 //! draws randomness. A disabled registry ([`Metrics::disabled`]) drops
 //! every update before building the canonical key.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
 
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
 use crate::stats::OnlineStats;
 use crate::time::SimDuration;
 
@@ -82,14 +83,14 @@ struct MetricsInner {
 /// A shared, clonable metrics registry.
 #[derive(Clone, Default)]
 pub struct Metrics {
-    inner: Rc<RefCell<MetricsInner>>,
+    inner: Arc<Mutex<MetricsInner>>,
 }
 
 impl Metrics {
     /// Creates an enabled registry.
     pub fn new() -> Self {
         let m = Metrics::default();
-        m.inner.borrow_mut().enabled = true;
+        lock(&m.inner).enabled = true;
         m
     }
 
@@ -100,12 +101,12 @@ impl Metrics {
 
     /// True when recording.
     pub fn is_enabled(&self) -> bool {
-        self.inner.borrow().enabled
+        lock(&self.inner).enabled
     }
 
     /// Adds `delta` to the counter `name{labels}`.
     pub fn add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.enabled {
             return;
         }
@@ -120,7 +121,7 @@ impl Metrics {
 
     /// Sets the gauge `name{labels}`.
     pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.enabled {
             return;
         }
@@ -142,7 +143,7 @@ impl Metrics {
     /// [`Metrics::observe`] with explicit bucket bounds (used only when
     /// the series is created).
     pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], x: f64, bounds: &[f64]) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.enabled {
             return;
         }
@@ -157,13 +158,12 @@ impl Metrics {
     /// Reads a counter; missing series read as 0.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         let key = (name.to_string(), canon(labels));
-        self.inner.borrow().counters.get(&key).copied().unwrap_or(0)
+        lock(&self.inner).counters.get(&key).copied().unwrap_or(0)
     }
 
     /// Sum of a counter across all label sets.
     pub fn counter_total(&self, name: &str) -> u64 {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .counters
             .iter()
             .filter(|((n, _), _)| n == name)
@@ -174,18 +174,18 @@ impl Metrics {
     /// Reads a gauge, if set.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
         let key = (name.to_string(), canon(labels));
-        self.inner.borrow().gauges.get(&key).copied()
+        lock(&self.inner).gauges.get(&key).copied()
     }
 
     /// Reads a histogram series, if any observations landed.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
         let key = (name.to_string(), canon(labels));
-        self.inner.borrow().histograms.get(&key).cloned()
+        lock(&self.inner).histograms.get(&key).cloned()
     }
 
     /// A stable point-in-time copy of every series.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         MetricsSnapshot {
             counters: inner
                 .counters

@@ -1,0 +1,169 @@
+//! A tiny work-stealing job pool for fan-out over real OS threads.
+//!
+//! [`run_jobs`] distributes a fixed batch of independent jobs round-robin
+//! across per-worker deques, then spawns `workers` scoped threads that
+//! drain their own deque front-first and steal from the *back* of other
+//! workers' deques when idle. Results come back **in job order**,
+//! regardless of which worker ran which job or in what order they
+//! finished — the worker count affects scheduling only, never results.
+//!
+//! This is the multi-core driver for fleet provisioning: each job builds
+//! and drives its own deterministic [`crate::Sim`] shard to completion,
+//! and the caller merges shard outputs in shard-index order, so a run is
+//! byte-identical whether it used 1 worker or 64.
+//!
+//! The pool is deliberately minimal: jobs cannot spawn jobs, so "every
+//! deque is empty" is a complete termination condition and no
+//! condition-variable parking is needed. Locking uses the workspace
+//! [`lock`] helper (poison-recovering, panic-free); a panicking job
+//! propagates out of the enclosing [`std::thread::scope`] like any other
+//! thread panic.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+use crate::executor::lock;
+
+/// Number of hardware threads, used as the default worker count for
+/// "all cores" runs. Falls back to 1 where the platform cannot say.
+pub fn max_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `jobs` across `workers` OS threads and returns their outputs in
+/// job order. `workers` is clamped to at least 1; a worker count larger
+/// than the job count just leaves the extra workers idle.
+pub fn run_jobs<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let workers = workers.max(1);
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+
+    // Round-robin the indexed jobs across per-worker deques.
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (idx, job) in jobs.into_iter().enumerate() {
+        if let Some(dq) = deques.get(idx % workers) {
+            lock(dq).push_back((idx, job));
+        }
+    }
+
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let results = &results;
+            scope.spawn(move || {
+                while let Some((idx, job)) = pop_or_steal(deques, w) {
+                    let out = job();
+                    lock(results).push((idx, out));
+                }
+            });
+        }
+    });
+
+    let mut indexed = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    indexed.sort_by_key(|(idx, _)| *idx);
+    indexed.into_iter().map(|(_, out)| out).collect()
+}
+
+/// Pops the next job: front of our own deque first (cache-friendly for
+/// the round-robin owner), else the back of the first non-empty victim.
+/// `None` means every deque is empty, i.e. the batch is finished.
+fn pop_or_steal<J>(deques: &[Mutex<VecDeque<J>>], own: usize) -> Option<J> {
+    if let Some(dq) = deques.get(own) {
+        if let Some(job) = lock(dq).pop_front() {
+            return Some(job);
+        }
+    }
+    for (victim, dq) in deques.iter().enumerate() {
+        if victim == own {
+            continue;
+        }
+        if let Some(job) = lock(dq).pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        // Make early jobs slow so later ones finish first.
+        let jobs: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    if i < 4 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let out = run_jobs(4, jobs);
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let make = || (0..100).map(|i| move || i * i).collect::<Vec<_>>();
+        let one = run_jobs(1, make());
+        let four = run_jobs(4, make());
+        let many = run_jobs(64, make());
+        assert_eq!(one, four);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let out = run_jobs(0, vec![|| 7, || 8]);
+        assert_eq!(out, vec![7, 8]);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let out: Vec<u32> = run_jobs(8, Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_deque() {
+        // One deque (workers=2, 2 jobs -> one each) where job 0 blocks
+        // until job 1 has run: if worker 1 could not steal nothing would
+        // deadlock here, but stealing also shows up as both jobs done.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r0 = Arc::clone(&ran);
+        let r1 = Arc::clone(&ran);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(move || {
+                r0.fetch_add(1, Ordering::SeqCst);
+                0
+            }),
+            Box::new(move || {
+                r1.fetch_add(1, Ordering::SeqCst);
+                1
+            }),
+        ];
+        let out = run_jobs(2, jobs);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(16, vec![|| 1, || 2, || 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

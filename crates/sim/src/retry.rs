@@ -300,15 +300,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
 
     fn flaky_op(
         sim: &Sim,
-        calls: &Rc<Cell<u32>>,
+        calls: &Arc<AtomicU32>,
         fail_first: u32,
         cost: SimDuration,
-    ) -> impl FnMut() -> Pin<Box<dyn Future<Output = Result<u32, &'static str>>>> {
+    ) -> impl FnMut() -> Pin<Box<dyn Future<Output = Result<u32, &'static str>> + Send>> {
         let sim = sim.clone();
         let calls = calls.clone();
         move || {
@@ -316,8 +316,7 @@ mod tests {
             let calls = calls.clone();
             Box::pin(async move {
                 sim.sleep(cost).await;
-                let n = calls.get() + 1;
-                calls.set(n);
+                let n = calls.fetch_add(1, Ordering::Relaxed) + 1;
                 if n <= fail_first {
                     Err("transient")
                 } else {
@@ -330,7 +329,7 @@ mod tests {
     #[test]
     fn first_attempt_success_costs_no_time_or_rng_draws() {
         let sim = Sim::new();
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let rng = Rng::seed_from_u64(1);
         let before = rng.clone();
         let op = flaky_op(&sim, &calls, 0, SimDuration::ZERO);
@@ -364,7 +363,7 @@ mod tests {
     #[test]
     fn retries_until_success_with_backoff_time() {
         let sim = Sim::new();
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let policy = RetryPolicy {
             max_attempts: 5,
             base_backoff: SimDuration::from_millis(100),
@@ -391,7 +390,7 @@ mod tests {
     #[test]
     fn exhaustion_reports_attempts_and_last_error() {
         let sim = Sim::new();
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let policy = RetryPolicy::default().attempts(3);
         let op = flaky_op(&sim, &calls, 99, SimDuration::ZERO);
         let got = sim.block_on({
@@ -408,13 +407,13 @@ mod tests {
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
-        assert_eq!(calls.get(), 3);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
     }
 
     #[test]
     fn fatal_errors_bypass_remaining_attempts() {
         let sim = Sim::new();
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let got = sim.block_on({
             let sim2 = sim.clone();
             let calls2 = calls.clone();
@@ -427,7 +426,7 @@ mod tests {
                     move || {
                         let calls3 = calls2.clone();
                         async move {
-                            calls3.set(calls3.get() + 1);
+                            calls3.fetch_add(1, Ordering::Relaxed);
                             Err::<(), _>("fatal")
                         }
                     },
@@ -443,7 +442,7 @@ mod tests {
             }
             other => panic!("expected fatal, got {other:?}"),
         }
-        assert_eq!(calls.get(), 1);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
         assert_eq!(
             got.unwrap_err().to_string(),
             "fatal",
@@ -454,7 +453,7 @@ mod tests {
     #[test]
     fn per_attempt_timeout_fires_and_reports() {
         let sim = Sim::new();
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let policy = RetryPolicy {
             max_attempts: 2,
             base_backoff: SimDuration::from_millis(10),
@@ -484,7 +483,7 @@ mod tests {
             done_at.as_nanos(),
             SimDuration::from_millis(2010).as_nanos()
         );
-        assert_eq!(calls.get(), 0, "slow op never completed");
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "slow op never completed");
     }
 
     #[test]
@@ -509,7 +508,7 @@ mod tests {
         let metrics = Metrics::new();
         let labels: &[(&str, &str)] = &[("op", "bmc.power"), ("target", "n1")];
         // Two failures then success: exactly 2 re-attempts recorded.
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let op = flaky_op(&sim, &calls, 2, SimDuration::ZERO);
         let got = sim.block_on({
             let sim2 = sim.clone();
@@ -533,7 +532,7 @@ mod tests {
         assert_eq!(metrics.counter("retry_attempts", labels), 2);
 
         // First-try success leaves the counter untouched.
-        let calls = Rc::new(Cell::new(0));
+        let calls = Arc::new(AtomicU32::new(0));
         let op = flaky_op(&sim, &calls, 0, SimDuration::ZERO);
         let got = sim.block_on({
             let sim2 = sim.clone();

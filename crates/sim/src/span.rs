@@ -21,11 +21,13 @@
 //! returns the sentinel [`SpanId::NONE`] from `begin` and drops
 //! everything else before any allocation.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
 use crate::executor::Sim;
 use crate::time::{SimDuration, SimTime};
 
@@ -100,7 +102,6 @@ struct SpansInner {
     /// Per-target stack of open span ids (indices into `records` are
     /// `id - 1`).
     open: HashMap<String, Vec<SpanId>>,
-    next_seq: u64,
 }
 
 impl SpansInner {
@@ -110,16 +111,21 @@ impl SpansInner {
 }
 
 /// A shared, clonable span recorder.
+///
+/// The boundary sequence counter lives outside the record lock as an
+/// atomic, so the total order over span boundaries survives concurrent
+/// recording from multiple worker threads.
 #[derive(Clone, Default)]
 pub struct Spans {
-    inner: Rc<RefCell<SpansInner>>,
+    inner: Arc<Mutex<SpansInner>>,
+    next_seq: Arc<AtomicU64>,
 }
 
 impl Spans {
     /// Creates an enabled recorder.
     pub fn new() -> Self {
         let s = Spans::default();
-        s.inner.borrow_mut().enabled = true;
+        lock(&s.inner).enabled = true;
         s
     }
 
@@ -130,7 +136,7 @@ impl Spans {
 
     /// True when recording.
     pub fn is_enabled(&self) -> bool {
-        self.inner.borrow().enabled
+        lock(&self.inner).enabled
     }
 
     /// Opens a span on `target` at the current virtual time. The span
@@ -142,13 +148,14 @@ impl Spans {
         name: &'static str,
         target: &str,
     ) -> SpanId {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.enabled {
             return SpanId::NONE;
         }
         let id = SpanId(inner.records.len() as u64 + 1);
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
+        // Claimed while the record lock is held, so sequence order and
+        // record order agree even under concurrent recorders.
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let stack = inner.open.entry(target.to_string()).or_default();
         let parent = stack.last().copied();
         stack.push(id);
@@ -191,7 +198,7 @@ impl Spans {
         if id.is_none() {
             return;
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let idx = inner.idx(id);
         inner.records[idx].attrs.push((key, value.into()));
     }
@@ -204,9 +211,8 @@ impl Spans {
         if id.is_none() {
             return;
         }
-        let mut inner = self.inner.borrow_mut();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
+        let mut inner = lock(&self.inner);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let idx = inner.idx(id);
         if inner.records[idx].end.is_some() {
             return; // already closed; keep the first end
@@ -237,12 +243,12 @@ impl Spans {
 
     /// Snapshot of every record, in begin order.
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.inner.borrow().records.clone()
+        lock(&self.inner).records.clone()
     }
 
     /// Number of recorded spans (events count once).
     pub fn len(&self) -> usize {
-        self.inner.borrow().records.len()
+        lock(&self.inner).records.len()
     }
 
     /// True if nothing has been recorded.
@@ -252,8 +258,7 @@ impl Spans {
 
     /// All closed spans named `name` on `target`, in begin order.
     pub fn closed(&self, name: &str, target: &str) -> Vec<SpanRecord> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .records
             .iter()
             .filter(|r| r.name == name && r.target == target && r.is_closed())
@@ -263,8 +268,7 @@ impl Spans {
 
     /// The first span named `name` on `target`, open or closed.
     pub fn find(&self, name: &str, target: &str) -> Option<SpanRecord> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .records
             .iter()
             .find(|r| r.name == name && r.target == target)
@@ -273,8 +277,7 @@ impl Spans {
 
     /// Direct children of `parent`, in begin order.
     pub fn children(&self, parent: SpanId) -> Vec<SpanRecord> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .records
             .iter()
             .filter(|r| r.parent == Some(parent))
@@ -286,7 +289,7 @@ impl Spans {
     /// string — the golden-trace surface: two runs under the same seed
     /// must render byte-identically.
     pub fn render(&self) -> String {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         // Children of each span, in record order.
         let mut kids: HashMap<Option<SpanId>, Vec<usize>> = HashMap::new();
         for (i, r) in inner.records.iter().enumerate() {

@@ -7,13 +7,15 @@
 //! * [`Event`] — a one-shot broadcast flag (e.g. "attestation finished").
 //! * [`channel`] — an unbounded FIFO message queue between processes.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+
 use std::task::{Context, Poll, Waker};
 
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
 use crate::executor::Sim;
 use crate::time::{SimDuration, SimTime};
 
@@ -59,7 +61,7 @@ struct ResInner {
 #[derive(Clone)]
 pub struct Resource {
     sim: Sim,
-    inner: Rc<RefCell<ResInner>>,
+    inner: Arc<Mutex<ResInner>>,
 }
 
 impl Resource {
@@ -72,7 +74,7 @@ impl Resource {
         assert!(capacity > 0, "resource capacity must be positive");
         Resource {
             sim: sim.clone(),
-            inner: Rc::new(RefCell::new(ResInner {
+            inner: Arc::new(Mutex::new(ResInner {
                 capacity,
                 in_use: 0,
                 waiters: VecDeque::new(),
@@ -102,22 +104,22 @@ impl Resource {
 
     /// Units currently in use.
     pub fn in_use(&self) -> usize {
-        self.inner.borrow().in_use
+        lock(&self.inner).in_use
     }
 
     /// Number of processes currently queued.
     pub fn queue_len(&self) -> usize {
-        self.inner.borrow().waiters.len()
+        lock(&self.inner).waiters.len()
     }
 
     /// Total capacity.
     pub fn capacity(&self) -> usize {
-        self.inner.borrow().capacity
+        lock(&self.inner).capacity
     }
 
     /// Mean time spent waiting in the queue, over all acquisitions so far.
     pub fn mean_wait(&self) -> SimDuration {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         if inner.acquires == 0 {
             SimDuration::ZERO
         } else {
@@ -127,11 +129,11 @@ impl Resource {
 
     /// Longest queue observed.
     pub fn max_queue_len(&self) -> usize {
-        self.inner.borrow().max_queue_len
+        lock(&self.inner).max_queue_len
     }
 
     fn release_one(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         debug_assert!(inner.in_use > 0, "release without acquire");
         inner.in_use -= 1;
         if let Some(front) = inner.waiters.front_mut() {
@@ -165,7 +167,7 @@ impl Future for Acquire {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Permit> {
         let this = &mut *self;
-        let mut inner = this.res.inner.borrow_mut();
+        let mut inner = lock(&this.res.inner);
         match this.ticket {
             None => {
                 if inner.waiters.is_empty() && inner.in_use < inner.capacity {
@@ -225,7 +227,7 @@ impl Drop for Acquire {
         // Cancel-safety: if we were still queued, leave the queue and make
         // sure the (possibly new) front waiter gets woken.
         if let Some(ticket) = self.ticket {
-            let mut inner = self.res.inner.borrow_mut();
+            let mut inner = lock(&self.res.inner);
             inner.waiters.retain(|w| w.ticket != ticket);
             if inner.in_use < inner.capacity {
                 if let Some(front) = inner.waiters.front_mut() {
@@ -252,7 +254,7 @@ struct EventInner {
 /// immediately).
 #[derive(Clone)]
 pub struct Event {
-    inner: Rc<RefCell<EventInner>>,
+    inner: Arc<Mutex<EventInner>>,
 }
 
 impl Default for Event {
@@ -265,7 +267,7 @@ impl Event {
     /// Creates an unset event.
     pub fn new() -> Self {
         Event {
-            inner: Rc::new(RefCell::new(EventInner {
+            inner: Arc::new(Mutex::new(EventInner {
                 set: false,
                 waiters: Vec::new(),
             })),
@@ -274,7 +276,7 @@ impl Event {
 
     /// Sets the event, waking all current waiters. Idempotent.
     pub fn set(&self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.set = true;
         for w in inner.waiters.drain(..) {
             w.wake();
@@ -283,7 +285,7 @@ impl Event {
 
     /// True if the event has been set.
     pub fn is_set(&self) -> bool {
-        self.inner.borrow().set
+        lock(&self.inner).set
     }
 
     /// Waits until the event is set.
@@ -303,7 +305,7 @@ impl Future for EventWait {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let mut inner = self.event.inner.borrow_mut();
+        let mut inner = lock(&self.event.inner);
         if inner.set {
             Poll::Ready(())
         } else {
@@ -325,12 +327,12 @@ struct ChanInner<T> {
 
 /// Sending half of an unbounded channel; clonable.
 pub struct Sender<T> {
-    inner: Rc<RefCell<ChanInner<T>>>,
+    inner: Arc<Mutex<ChanInner<T>>>,
 }
 
 /// Receiving half of an unbounded channel.
 pub struct Receiver<T> {
-    inner: Rc<RefCell<ChanInner<T>>>,
+    inner: Arc<Mutex<ChanInner<T>>>,
 }
 
 /// Creates an unbounded FIFO channel between simulated processes.
@@ -338,14 +340,14 @@ pub struct Receiver<T> {
 /// `recv` resolves to `None` once every sender has been dropped and the
 /// queue is drained.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-    let inner = Rc::new(RefCell::new(ChanInner {
+    let inner = Arc::new(Mutex::new(ChanInner {
         queue: VecDeque::new(),
         recv_wakers: Vec::new(),
         senders: 1,
     }));
     (
         Sender {
-            inner: Rc::clone(&inner),
+            inner: Arc::clone(&inner),
         },
         Receiver { inner },
     )
@@ -353,16 +355,16 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.borrow_mut().senders += 1;
+        lock(&self.inner).senders += 1;
         Sender {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.senders -= 1;
         if inner.senders == 0 {
             for w in inner.recv_wakers.drain(..) {
@@ -375,7 +377,7 @@ impl<T> Drop for Sender<T> {
 impl<T> Sender<T> {
     /// Enqueues a message, waking the receiver if it is blocked.
     pub fn send(&self, value: T) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         inner.queue.push_back(value);
         for w in inner.recv_wakers.drain(..) {
             w.wake();
@@ -392,12 +394,12 @@ impl<T> Receiver<T> {
 
     /// Non-blocking pop.
     pub fn try_recv(&self) -> Option<T> {
-        self.inner.borrow_mut().queue.pop_front()
+        lock(&self.inner).queue.pop_front()
     }
 
     /// Number of queued messages.
     pub fn len(&self) -> usize {
-        self.inner.borrow().queue.len()
+        lock(&self.inner).queue.len()
     }
 
     /// True if no messages are queued.
@@ -415,7 +417,7 @@ impl<T> Future for Recv<'_, T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
-        let mut inner = self.rx.inner.borrow_mut();
+        let mut inner = lock(&self.rx.inner);
         if let Some(v) = inner.queue.pop_front() {
             Poll::Ready(Some(v))
         } else if inner.senders == 0 {
@@ -431,24 +433,22 @@ impl<T> Future for Recv<'_, T> {
 mod tests {
     use super::*;
     use crate::time::SimDuration;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     #[test]
     fn resource_serializes_by_capacity() {
         let sim = Sim::new();
         let res = Resource::new(&sim, 2);
-        let done = Rc::new(RefCell::new(Vec::new()));
+        let done = Arc::new(Mutex::new(Vec::new()));
         for i in 0..6u32 {
-            let (sim2, res2, done2) = (sim.clone(), res.clone(), Rc::clone(&done));
+            let (sim2, res2, done2) = (sim.clone(), res.clone(), Arc::clone(&done));
             sim.spawn(async move {
                 res2.visit(SimDuration::from_secs(10)).await;
-                done2.borrow_mut().push((i, sim2.now().as_secs_f64()));
+                lock(&done2).push((i, sim2.now().as_secs_f64()));
             });
         }
         sim.run();
         // Capacity 2, 6 jobs of 10s each => 3 waves finishing at 10/20/30.
-        let d = done.borrow();
+        let d = lock(&done);
         assert_eq!(d.len(), 6);
         assert_eq!(d[0].1, 10.0);
         assert_eq!(d[1].1, 10.0);
@@ -460,19 +460,19 @@ mod tests {
     fn resource_is_fifo() {
         let sim = Sim::new();
         let res = Resource::new(&sim, 1);
-        let order = Rc::new(RefCell::new(Vec::new()));
+        let order = Arc::new(Mutex::new(Vec::new()));
         for i in 0..5u32 {
-            let (sim2, res2, order2) = (sim.clone(), res.clone(), Rc::clone(&order));
+            let (sim2, res2, order2) = (sim.clone(), res.clone(), Arc::clone(&order));
             sim.spawn(async move {
                 // Arrive staggered so arrival order is unambiguous.
                 sim2.sleep(SimDuration::from_millis(u64::from(i))).await;
                 let _p = res2.acquire().await;
-                order2.borrow_mut().push(i);
+                lock(&order2).push(i);
                 sim2.sleep(SimDuration::from_secs(1)).await;
             });
         }
         sim.run();
-        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(*lock(&order), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -521,12 +521,12 @@ mod tests {
     fn event_broadcasts_to_all_waiters() {
         let sim = Sim::new();
         let ev = Event::new();
-        let count = Rc::new(RefCell::new(0));
+        let count = Arc::new(Mutex::new(0));
         for _ in 0..4 {
-            let (ev2, count2) = (ev.clone(), Rc::clone(&count));
+            let (ev2, count2) = (ev.clone(), Arc::clone(&count));
             sim.spawn(async move {
                 ev2.wait().await;
-                *count2.borrow_mut() += 1;
+                *lock(&count2) += 1;
             });
         }
         let (sim2, ev2) = (sim.clone(), ev.clone());
@@ -535,7 +535,7 @@ mod tests {
             ev2.set();
         });
         assert_eq!(sim.run(), 0);
-        assert_eq!(*count.borrow(), 4);
+        assert_eq!(*lock(&count), 4);
         assert!(ev.is_set());
     }
 

@@ -4,10 +4,11 @@
 //! [`Tracer`]; tests assert on the trace, and the examples print it as a
 //! human-readable boot log.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::rc::Rc;
 
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
 use crate::executor::Sim;
 use crate::time::SimTime;
 
@@ -36,14 +37,14 @@ struct TracerInner {
 /// A shared, clonable event trace.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    inner: Rc<RefCell<TracerInner>>,
+    inner: Arc<Mutex<TracerInner>>,
 }
 
 impl Tracer {
     /// Creates an enabled tracer.
     pub fn new() -> Self {
         let t = Tracer::default();
-        t.inner.borrow_mut().enabled = true;
+        lock(&t.inner).enabled = true;
         t
     }
 
@@ -55,7 +56,7 @@ impl Tracer {
     /// When set, every event is also printed to stdout as it happens
     /// (useful in examples).
     pub fn set_echo(&self, echo: bool) {
-        self.inner.borrow_mut().echo = echo;
+        lock(&self.inner).echo = echo;
     }
 
     /// Records an event at the simulation's current time.
@@ -65,7 +66,7 @@ impl Tracer {
     /// already a `String` is the only allocation a caller can pay — and
     /// passing `&str` costs nothing at all on the disabled path.
     pub fn record(&self, sim: &Sim, category: &'static str, message: impl Into<String>) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if !inner.enabled {
             return;
         }
@@ -87,12 +88,12 @@ impl Tracer {
 
     /// Returns a copy of all recorded events.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.clone()
+        lock(&self.inner).events.clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.inner.borrow().events.len()
+        lock(&self.inner).events.len()
     }
 
     /// True if nothing has been recorded.
@@ -102,8 +103,7 @@ impl Tracer {
 
     /// Returns the messages of every event in `category`, in order.
     pub fn messages_in(&self, category: &str) -> Vec<String> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .events
             .iter()
             .filter(|e| e.category == category)
@@ -113,8 +113,7 @@ impl Tracer {
 
     /// True if any event message contains `needle`.
     pub fn contains(&self, needle: &str) -> bool {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .events
             .iter()
             .any(|e| e.message.contains(needle))
@@ -123,7 +122,7 @@ impl Tracer {
     /// Renders the whole trace as a multi-line log string.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in self.inner.borrow().events.iter() {
+        for e in lock(&self.inner).events.iter() {
             let _ = writeln!(
                 out,
                 "[{:>12}] {:<10} {}",

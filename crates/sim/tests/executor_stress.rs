@@ -1,25 +1,27 @@
 //! Stress and edge-case tests for the virtual-time executor.
 
-use bolted_sim::{channel, join_all, Event, Resource, Rng, Sim, SimDuration, SimTime, Tracer};
-use std::cell::RefCell;
-use std::rc::Rc;
+use bolted_sim::{
+    channel, join_all, lock, Event, Resource, Rng, Sim, SimDuration, SimTime, Tracer,
+};
+
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn ten_thousand_interleaved_timers_fire_in_order() {
     let sim = Sim::new();
-    let fired = Rc::new(RefCell::new(Vec::with_capacity(10_000)));
+    let fired = Arc::new(Mutex::new(Vec::with_capacity(10_000)));
     let mut rng = Rng::seed_from_u64(99);
     for _ in 0..10_000 {
         let d = rng.gen_range(1_000_000) + 1;
         let sim2 = sim.clone();
-        let fired2 = Rc::clone(&fired);
+        let fired2 = Arc::clone(&fired);
         sim.spawn(async move {
             sim2.sleep(SimDuration::from_nanos(d)).await;
-            fired2.borrow_mut().push(sim2.now().as_nanos());
+            lock(&fired2).push(sim2.now().as_nanos());
         });
     }
     assert_eq!(sim.run(), 0);
-    let fired = fired.borrow();
+    let fired = lock(&fired);
     assert_eq!(fired.len(), 10_000);
     assert!(fired.windows(2).all(|w| w[0] <= w[1]), "monotonic firing");
 }
@@ -76,7 +78,7 @@ fn resource_pipeline_through_channel() {
     let sim = Sim::new();
     let (tx, rx) = channel::<u32>();
     let stage = Resource::new(&sim, 1);
-    let out = Rc::new(RefCell::new(Vec::new()));
+    let out = Arc::new(Mutex::new(Vec::new()));
     let sim_p = sim.clone();
     sim.spawn(async move {
         for i in 0..20 {
@@ -84,16 +86,16 @@ fn resource_pipeline_through_channel() {
             tx.send(i);
         }
     });
-    let (sim_c, stage_c, out_c) = (sim.clone(), stage.clone(), Rc::clone(&out));
+    let (sim_c, stage_c, out_c) = (sim.clone(), stage.clone(), Arc::clone(&out));
     sim.spawn(async move {
         while let Some(v) = rx.recv().await {
             stage_c.visit(SimDuration::from_millis(10)).await;
             let _ = sim_c.now();
-            out_c.borrow_mut().push(v);
+            lock(&out_c).push(v);
         }
     });
     assert_eq!(sim.run(), 0);
-    assert_eq!(*out.borrow(), (0..20).collect::<Vec<_>>());
+    assert_eq!(*lock(&out), (0..20).collect::<Vec<_>>());
     // 20 items at 10ms service, arrivals every 5ms: consumer-bound.
     assert!((0.20..0.22).contains(&sim.now().as_secs_f64()));
 }
@@ -102,13 +104,13 @@ fn resource_pipeline_through_channel() {
 fn event_set_before_and_after_waiters_mix() {
     let sim = Sim::new();
     let ev = Event::new();
-    let count = Rc::new(RefCell::new(0));
+    let count = Arc::new(Mutex::new(0));
     // Two early waiters.
     for _ in 0..2 {
-        let (ev2, c2) = (ev.clone(), Rc::clone(&count));
+        let (ev2, c2) = (ev.clone(), Arc::clone(&count));
         sim.spawn(async move {
             ev2.wait().await;
-            *c2.borrow_mut() += 1;
+            *lock(&c2) += 1;
         });
     }
     let (sim2, ev2) = (sim.clone(), ev.clone());
@@ -117,14 +119,14 @@ fn event_set_before_and_after_waiters_mix() {
         ev2.set();
     });
     // A late waiter arriving after set.
-    let (sim3, ev3, c3) = (sim.clone(), ev.clone(), Rc::clone(&count));
+    let (sim3, ev3, c3) = (sim.clone(), ev.clone(), Arc::clone(&count));
     sim.spawn(async move {
         sim3.sleep(SimDuration::from_secs(2)).await;
         ev3.wait().await;
-        *c3.borrow_mut() += 1;
+        *lock(&c3) += 1;
     });
     assert_eq!(sim.run(), 0);
-    assert_eq!(*count.borrow(), 3);
+    assert_eq!(*lock(&count), 3);
 }
 
 #[test]

@@ -11,9 +11,9 @@
 // slice buffers whose bounds are min()-clamped against object_size at
 // every call site; indices derive from digests reduced modulo pool size)
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_crypto::sha256::{sha256, sha256_concat, Digest};
 use bolted_sim::{join_all, Resource, Sim, SimDuration};
@@ -92,9 +92,9 @@ struct ClusterInner {
 #[derive(Clone)]
 pub struct Cluster {
     sim: Sim,
-    inner: Rc<RefCell<ClusterInner>>,
+    inner: Arc<Mutex<ClusterInner>>,
     /// One FIFO resource per spindle, grouped by OSD.
-    spindles: Rc<Vec<Resource>>,
+    spindles: Arc<Vec<Resource>>,
     spindles_per_osd: usize,
     disk: DiskModel,
     replicas: usize,
@@ -125,7 +125,7 @@ impl Cluster {
             .collect();
         Cluster {
             sim: sim.clone(),
-            inner: Rc::new(RefCell::new(ClusterInner {
+            inner: Arc::new(Mutex::new(ClusterInner {
                 objects: HashMap::new(),
                 object_size: OBJECT_SIZE,
                 osd_count,
@@ -135,7 +135,7 @@ impl Cluster {
                 requests: 0,
                 degraded_writes: 0,
             })),
-            spindles: Rc::new(spindles),
+            spindles: Arc::new(spindles),
             spindles_per_osd,
             disk,
             replicas,
@@ -144,7 +144,7 @@ impl Cluster {
 
     /// Object size in bytes.
     pub fn object_size(&self) -> u64 {
-        self.inner.borrow().object_size
+        lock(&self.inner).object_size
     }
 
     /// Total spindle count.
@@ -154,19 +154,19 @@ impl Cluster {
 
     /// `(bytes_read, bytes_written, requests)` served so far.
     pub fn io_stats(&self) -> (u64, u64, u64) {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         (inner.bytes_read, inner.bytes_written, inner.requests)
     }
 
     /// Marks an OSD down: placement routes around it (Ceph's CRUSH
     /// remapping) until [`Cluster::recover_osd`].
     pub fn fail_osd(&self, osd: usize) {
-        self.inner.borrow_mut().failed_osds.insert(osd);
+        lock(&self.inner).failed_osds.insert(osd);
     }
 
     /// Brings a failed OSD back into the placement set.
     pub fn recover_osd(&self, osd: usize) {
-        self.inner.borrow_mut().failed_osds.remove(&osd);
+        lock(&self.inner).failed_osds.remove(&osd);
     }
 
     /// True if at least one replica location of `key` is serviceable.
@@ -177,7 +177,7 @@ impl Cluster {
     /// Writes that completed with fewer than the configured replica count
     /// because of failed OSDs.
     pub fn degraded_writes(&self) -> u64 {
-        self.inner.borrow().degraded_writes
+        lock(&self.inner).degraded_writes
     }
 
     /// Rendezvous-hash placement: returns the live OSD ids holding `key`,
@@ -186,7 +186,7 @@ impl Cluster {
     /// empty when everything is down).
     pub fn placement(&self, key: ObjectKey) -> Vec<usize> {
         let (osd_count, failed) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             (inner.osd_count, inner.failed_osds.clone())
         };
         let mut scored: Vec<(u64, usize)> = (0..osd_count)
@@ -223,7 +223,7 @@ impl Cluster {
     /// Declares an object's baseline content (no timing cost; this is
     /// image creation metadata, not data-path I/O).
     pub fn set_backing(&self, key: ObjectKey, backing: Backing) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let entry = inner.objects.entry(key).or_insert(StoredObject {
             backing,
             data: None,
@@ -234,20 +234,17 @@ impl Cluster {
 
     /// Removes an object entirely.
     pub fn delete_object(&self, key: ObjectKey) {
-        self.inner.borrow_mut().objects.remove(&key);
+        lock(&self.inner).objects.remove(&key);
     }
 
     /// Removes every object belonging to `image`.
     pub fn delete_image_objects(&self, image: ImageId) {
-        self.inner
-            .borrow_mut()
-            .objects
-            .retain(|k, _| k.image != image);
+        lock(&self.inner).objects.retain(|k, _| k.image != image);
     }
 
     /// True if the object has been explicitly created (backing or data).
     pub fn exists(&self, key: ObjectKey) -> bool {
-        self.inner.borrow().objects.contains_key(&key)
+        lock(&self.inner).objects.contains_key(&key)
     }
 
     fn generate_into(&self, key: ObjectKey, backing: Backing, off: u64, buf: &mut [u8]) {
@@ -299,7 +296,7 @@ impl Cluster {
             Absent,
         }
         let src = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             match inner.objects.get(&key) {
                 Some(obj) => match &obj.data {
                     Some(data) => {
@@ -329,7 +326,7 @@ impl Cluster {
         let object_size = self.object_size() as usize;
         // Materialise the object (expanding its backing) on first write.
         let need_backing = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             let entry = inner.objects.entry(key).or_insert(StoredObject {
                 backing: Backing::Zero,
                 data: None,
@@ -346,15 +343,14 @@ impl Cluster {
             self.generate_into(key, backing, 0, &mut base);
             // lint: allow(L1-panic: the entry was inserted by the
             // borrow-scoped block above; two borrows cannot interleave on
-            // a single-threaded Rc<RefCell>)
-            self.inner
-                .borrow_mut()
+            // a single-threaded Arc<RefCell>)
+            lock(&self.inner)
                 .objects
                 .get_mut(&key)
                 .expect("inserted above")
                 .data = Some(base);
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         // lint: allow(L1-panic: same single-threaded insert-above invariant)
         let obj = inner.objects.get_mut(&key).expect("exists");
         // lint: allow(L1-panic: the need_backing arm above materialised it)
@@ -368,7 +364,7 @@ impl Cluster {
     /// Test/fault-injection hook: flips a byte of a materialised object
     /// *without* updating its checksum, modelling silent media corruption.
     pub fn corrupt_object(&self, key: ObjectKey, offset: usize) -> bool {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         match inner.objects.get_mut(&key).and_then(|o| o.data.as_mut()) {
             Some(data) if offset < data.len() => {
                 data[offset] ^= 0xFF;
@@ -382,7 +378,7 @@ impl Cluster {
     /// timing) and verifies its checksum. Returns the corrupted keys.
     pub async fn deep_scrub(&self) -> Vec<ObjectKey> {
         let keys: Vec<(ObjectKey, usize)> = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             inner
                 .objects
                 .iter()
@@ -392,7 +388,7 @@ impl Cluster {
         let mut corrupted = Vec::new();
         for (key, len) in keys {
             self.charge_read(key, len as u64).await;
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             if let Some(obj) = inner.objects.get(&key) {
                 if let (Some(data), Some(sum)) = (&obj.data, &obj.checksum) {
                     if sha256(data) != *sum {
@@ -406,7 +402,7 @@ impl Cluster {
 
     /// Checksum of a materialised object, if any.
     pub fn object_checksum(&self, key: ObjectKey) -> Option<Digest> {
-        self.inner.borrow().objects.get(&key)?.checksum
+        lock(&self.inner).objects.get(&key)?.checksum
     }
 
     /// Charges the time of a read without touching data — the fast path
@@ -418,7 +414,7 @@ impl Cluster {
     /// [`Cluster::is_available`] in failure-injection scenarios).
     pub async fn charge_read(&self, key: ObjectKey, len: u64) {
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             inner.bytes_read += len;
             inner.requests += 1;
         }
@@ -445,7 +441,7 @@ impl Cluster {
             "no live replica for object (all OSDs failed)"
         );
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = lock(&self.inner);
             inner.bytes_written += len;
             inner.requests += 1;
             if osds.len() < self.replicas {

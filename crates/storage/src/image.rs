@@ -2,9 +2,9 @@
 //! clone (copy-on-write), delete — the verbs BMI exposes (§5, "disk image
 //! creation, image clone and snapshot, image deletion").
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::cluster::{Backing, Cluster, ImageId, ObjectKey};
 
@@ -66,7 +66,7 @@ struct StoreInner {
 #[derive(Clone)]
 pub struct ImageStore {
     cluster: Cluster,
-    inner: Rc<RefCell<StoreInner>>,
+    inner: Arc<Mutex<StoreInner>>,
 }
 
 impl ImageStore {
@@ -74,7 +74,7 @@ impl ImageStore {
     pub fn new(cluster: &Cluster) -> Self {
         ImageStore {
             cluster: cluster.clone(),
-            inner: Rc::new(RefCell::new(StoreInner {
+            inner: Arc::new(Mutex::new(StoreInner {
                 images: HashMap::new(),
                 by_name: HashMap::new(),
                 next_id: 1,
@@ -96,7 +96,7 @@ impl ImageStore {
         backing: Backing,
     ) -> Result<ImageId, ImageError> {
         let name = name.into();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if inner.by_name.contains_key(&name) {
             return Err(ImageError::NameTaken);
         }
@@ -133,7 +133,7 @@ impl ImageStore {
     /// Freezes an image so clones can safely share its objects. Returns
     /// the same id, now usable as a snapshot. Idempotent.
     pub fn snapshot(&self, id: ImageId) -> Result<ImageId, ImageError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let meta = inner.images.get_mut(&id).ok_or(ImageError::NoSuchImage)?;
         meta.frozen = true;
         Ok(id)
@@ -146,7 +146,7 @@ impl ImageStore {
         name: impl Into<String>,
     ) -> Result<ImageId, ImageError> {
         let name = name.into();
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let pmeta = inner
             .images
             .get(&parent)
@@ -184,7 +184,7 @@ impl ImageStore {
 
     /// Deletes an image and its objects. Fails while clones depend on it.
     pub fn delete(&self, id: ImageId) -> Result<(), ImageError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         let meta = inner.images.get(&id).ok_or(ImageError::NoSuchImage)?;
         if meta.children > 0 {
             return Err(ImageError::HasChildren);
@@ -205,14 +205,12 @@ impl ImageStore {
 
     /// Looks up an image by name.
     pub fn lookup(&self, name: &str) -> Option<ImageId> {
-        self.inner.borrow().by_name.get(name).copied()
+        lock(&self.inner).by_name.get(name).copied()
     }
 
     /// The image's name (reverse of [`ImageStore::lookup`]).
     pub fn name(&self, id: ImageId) -> Result<String, ImageError> {
-        Ok(self
-            .inner
-            .borrow()
+        Ok(lock(&self.inner)
             .images
             .get(&id)
             .ok_or(ImageError::NoSuchImage)?
@@ -222,9 +220,7 @@ impl ImageStore {
 
     /// Image size in bytes.
     pub fn size(&self, id: ImageId) -> Result<u64, ImageError> {
-        Ok(self
-            .inner
-            .borrow()
+        Ok(lock(&self.inner)
             .images
             .get(&id)
             .ok_or(ImageError::NoSuchImage)?
@@ -233,8 +229,7 @@ impl ImageStore {
 
     /// Sets a manifest entry (e.g. extracted kernel digest).
     pub fn set_manifest(&self, id: ImageId, key: &str, value: &str) -> Result<(), ImageError> {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .images
             .get_mut(&id)
             .ok_or(ImageError::NoSuchImage)?
@@ -245,8 +240,7 @@ impl ImageStore {
 
     /// Reads a manifest entry.
     pub fn manifest(&self, id: ImageId, key: &str) -> Option<String> {
-        self.inner
-            .borrow()
+        lock(&self.inner)
             .images
             .get(&id)?
             .manifest
@@ -256,7 +250,7 @@ impl ImageStore {
 
     /// Resolves which image in the parent chain actually holds `index`.
     fn resolve_object(&self, id: ImageId, index: u64) -> ObjectKey {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         let mut cur = id;
         loop {
             let key = ObjectKey { image: cur, index };
@@ -327,7 +321,7 @@ impl ImageStore {
     /// object belongs to a parent image.
     pub async fn write_at(&self, id: ImageId, offset: u64, data: &[u8]) -> Result<(), ImageError> {
         let (size, frozen) = {
-            let inner = self.inner.borrow();
+            let inner = lock(&self.inner);
             let meta = inner.images.get(&id).ok_or(ImageError::NoSuchImage)?;
             (meta.size, meta.frozen)
         };

@@ -17,9 +17,9 @@
 //! The gateway itself (one TGT VM in the paper) is a shared bottleneck,
 //! which contributes to Figure 5's concurrency knee.
 
-use std::cell::RefCell;
+use bolted_sim::lock;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bolted_crypto::cost::CipherCost;
 use bolted_sim::fault::{ops, Faults};
@@ -152,7 +152,7 @@ pub struct IscsiTarget {
     gateway: Gateway,
     transport: Transport,
     read_ahead: u64,
-    state: Rc<RefCell<TargetState>>,
+    state: Arc<Mutex<TargetState>>,
 }
 
 impl IscsiTarget {
@@ -173,7 +173,7 @@ impl IscsiTarget {
             gateway: gateway.clone(),
             transport,
             read_ahead: read_ahead.max(512),
-            state: Rc::new(RefCell::new(TargetState {
+            state: Arc::new(Mutex::new(TargetState {
                 window: None,
                 prefetch: VecDeque::new(),
                 bytes_from_cluster: 0,
@@ -192,13 +192,13 @@ impl IscsiTarget {
     /// the gap between them is the fetch-on-demand win BMI reports
     /// ("less than 1% of the image is typically used").
     pub fn stats(&self) -> (u64, u64) {
-        let s = self.state.borrow();
+        let s = lock(&self.state);
         (s.bytes_from_cluster, s.bytes_to_client)
     }
 
     /// Bytes prefetched but discarded (non-sequential access).
     pub fn wasted_prefetch(&self) -> u64 {
-        self.state.borrow().wasted_prefetch
+        lock(&self.state).wasted_prefetch
     }
 
     /// Spawns the fetch of window [start, end): parallel per-object
@@ -243,7 +243,7 @@ impl IscsiTarget {
         while pos < end {
             // Already in the current window?
             let window_end = {
-                let st = self.state.borrow();
+                let st = lock(&self.state);
                 match st.window {
                     Some((s, e)) if pos >= s && pos < e => Some(e),
                     _ => None,
@@ -258,7 +258,7 @@ impl IscsiTarget {
             }
             // Does a prefetch cover it?
             let pre = {
-                let mut st = self.state.borrow_mut();
+                let mut st = lock(&self.state);
                 let covers = matches!(st.prefetch.front(), Some(&(s, e, _)) if pos >= s && pos < e);
                 if covers {
                     st.prefetch.pop_front()
@@ -277,7 +277,7 @@ impl IscsiTarget {
             match pre {
                 Some((s, e, handle)) => {
                     handle.await;
-                    let mut st = self.state.borrow_mut();
+                    let mut st = lock(&self.state);
                     st.window = Some((s, e));
                     st.bytes_from_cluster += e - s;
                 }
@@ -285,7 +285,7 @@ impl IscsiTarget {
                     let (s, e) = self.window_bounds(pos, image_size);
                     let handle = self.spawn_fetch(s, e);
                     handle.await;
-                    let mut st = self.state.borrow_mut();
+                    let mut st = lock(&self.state);
                     st.window = Some((s, e));
                     st.bytes_from_cluster += e - s;
                 }
@@ -296,7 +296,7 @@ impl IscsiTarget {
             let image_size = self.store.size(self.image)?;
             loop {
                 let next_start = {
-                    let st = self.state.borrow();
+                    let st = lock(&self.state);
                     if st.prefetch.len() + 1 >= self.transport.pipeline_depth {
                         break;
                     }
@@ -313,7 +313,7 @@ impl IscsiTarget {
                 };
                 let (s, e) = self.window_bounds(next_start, image_size);
                 let handle = self.spawn_fetch(s, e);
-                self.state.borrow_mut().prefetch.push_back((s, e, handle));
+                lock(&self.state).prefetch.push_back((s, e, handle));
             }
         }
         Ok(())
@@ -351,7 +351,7 @@ impl IscsiTarget {
         let len = buf.len() as u64;
         self.read_gate().await?;
         self.ensure(offset, len).await?;
-        self.state.borrow_mut().bytes_to_client += len;
+        lock(&self.state).bytes_to_client += len;
         self.count_read(len);
         self.sim.sleep(self.transport.wire_time(len)).await;
         self.store
@@ -363,7 +363,7 @@ impl IscsiTarget {
     pub async fn read_timed(&self, offset: u64, len: u64) -> Result<(), ImageError> {
         self.read_gate().await?;
         self.ensure(offset, len).await?;
-        self.state.borrow_mut().bytes_to_client += len;
+        lock(&self.state).bytes_to_client += len;
         self.count_read(len);
         self.sim.sleep(self.transport.wire_time(len)).await;
         Ok(())
@@ -378,7 +378,7 @@ impl IscsiTarget {
         // Invalidate cached/prefetched state on overlap (keep it simple:
         // writes drop the whole cache).
         {
-            let mut st = self.state.borrow_mut();
+            let mut st = lock(&self.state);
             st.window = None;
             st.prefetch.clear();
         }

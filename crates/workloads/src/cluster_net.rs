@@ -199,8 +199,8 @@ mod tests {
 
     fn timed<F, Fut>(n: usize, cipher: Option<CipherCost>, f: F) -> f64
     where
-        F: FnOnce(CommGroup) -> Fut + 'static,
-        Fut: std::future::Future<Output = ()> + 'static,
+        F: FnOnce(CommGroup) -> Fut + Send + 'static,
+        Fut: std::future::Future<Output = ()> + Send + 'static,
     {
         let sim = Sim::new();
         let (_fabric, group) = standalone_group(&sim, n, cipher);

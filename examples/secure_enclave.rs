@@ -63,10 +63,10 @@ fn main() {
     assert_eq!(echoed, b"shuffle block 42");
 
     // Legitimate binaries run without incident; then node 2 is popped.
-    let enclave = std::rc::Rc::new(enclave);
+    let enclave = std::sync::Arc::new(enclave);
     let report = sim.block_on({
         let (cloud2, tenant2) = (cloud.clone(), tenant.clone());
-        let enclave2 = std::rc::Rc::clone(&enclave);
+        let enclave2 = std::sync::Arc::clone(&enclave);
         async move {
             enclave2.members[0]
                 .agent

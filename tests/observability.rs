@@ -3,7 +3,10 @@
 //! ledger of retries and injected faults, and (3) silent when the
 //! fault plan is empty — zero retry/fault counters, full op counters.
 
-use bolted::core::{Cloud, CloudConfig, ProvisionError, SecurityProfile, Tenant};
+use bolted::core::{
+    provision_fleet_parallel, Cloud, CloudConfig, FleetSpec, ProvisionError, SecurityProfile,
+    Tenant,
+};
 use bolted::firmware::KernelImage;
 use bolted::sim::fault::{ops, FaultPlan, FaultSpec};
 use bolted::sim::Sim;
@@ -96,6 +99,42 @@ fn span_tree_nests_phases_under_the_provision_root() {
         .histogram("provision_phase_seconds", &[("phase", "firmware")])
         .expect("histogram");
     assert_eq!(h.stats.count(), 1);
+}
+
+#[test]
+fn multi_threaded_fleet_runs_are_byte_identical_across_worker_counts() {
+    // The multi-core path: the same FleetSpec driven through the
+    // work-stealing pool at 1, 2 and 4 workers — plus a repeat run at 4 —
+    // must produce byte-identical per-shard span trees and metrics
+    // snapshots, and therefore equal whole-run digests. Worker count is
+    // scheduling only; every observable byte is a function of the spec.
+    let spec = FleetSpec::new(3, 2, 0x0B5E_57A1);
+    let runs: Vec<_> = [1, 2, 4, 4]
+        .iter()
+        .map(|&w| provision_fleet_parallel(&spec, w).expect("fleet run"))
+        .collect();
+    let first = &runs[0];
+    assert_eq!(first.ok(), spec.total_nodes());
+    assert_eq!(first.failed(), 0);
+    assert!(!first.shards[0].spans.is_empty(), "spans must be recorded");
+    assert!(first.shards[0].metrics.contains("provision_outcomes"));
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(run.shards.len(), first.shards.len());
+        for (a, b) in first.shards.iter().zip(&run.shards) {
+            assert_eq!(
+                a.spans, b.spans,
+                "shard {} spans diverged in run {i}",
+                a.shard
+            );
+            assert_eq!(
+                a.metrics, b.metrics,
+                "shard {} metrics diverged in run {i}",
+                a.shard
+            );
+            assert_eq!((a.ok, a.failed), (b.ok, b.failed));
+        }
+        assert_eq!(first.digest(), run.digest(), "run {i} digest diverged");
+    }
 }
 
 // -- retry / fault accounting ------------------------------------------------

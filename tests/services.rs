@@ -2,15 +2,16 @@
 //! four object-safe traits, so backends can be wrapped (fault shims) or
 //! replaced wholesale (mocks) without touching orchestration code.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use bolted_sim::lock;
 
 use bolted::bmi::{Bmi, BmiError};
 use bolted::core::{
-    linuxboot_source, AttestationService, BootService, Calibration, Cloud, CloudConfig,
-    IsolationService, LocalBoxFuture, NodeState, ProvisionError, ProvisioningService,
-    SecurityProfile, Services, Tenant, TenantEnv,
+    linuxboot_source, AttestationService, BootService, BoxFuture, Calibration, Cloud, CloudConfig,
+    IsolationService, NodeState, ProvisionError, ProvisioningService, SecurityProfile, Services,
+    Tenant, TenantEnv,
 };
 use bolted::crypto::prime::RandomSource;
 use bolted::crypto::rsa::PublicKey;
@@ -84,14 +85,14 @@ fn exhausted_attach_through_trait_object_abandons_to_free_pool() {
         .create_golden("fedora28", 8 << 30, 7, &kernel, "")
         .expect("golden");
     let env = TenantEnv::of_cloud(&cloud);
-    let attestation = Rc::new(bolted::core::KeylimeAttestation::new(
+    let attestation = Arc::new(bolted::core::KeylimeAttestation::new(
         &cloud,
         VerifierConfig::default(),
     ));
     let verifier = attestation.verifier().clone();
-    let backend: Rc<Cloud> = Rc::new(cloud.clone());
+    let backend: Arc<Cloud> = Arc::new(cloud.clone());
     let services = Services {
-        isolation: Rc::new(FlakyIsolation(cloud.clone())),
+        isolation: Arc::new(FlakyIsolation(cloud.clone())),
         attestation,
         provisioning: backend.clone(),
         boot: backend,
@@ -133,7 +134,7 @@ fn exhausted_attach_through_trait_object_abandons_to_free_pool() {
 struct NullIsolation {
     machine: Machine,
     ek: PublicKey,
-    networks: RefCell<usize>,
+    networks: Mutex<usize>,
 }
 
 impl IsolationService for NullIsolation {
@@ -148,7 +149,7 @@ impl IsolationService for NullIsolation {
         })
     }
     fn create_network(&self, _project: &str, _name: String) -> Result<NetworkId, HilError> {
-        let mut n = self.networks.borrow_mut();
+        let mut n = lock(&self.networks);
         *n += 1;
         Ok(NetworkId(*n - 1))
     }
@@ -190,7 +191,7 @@ impl BootService for NullBoot {
     fn run_firmware<'a>(
         &'a self,
         machine: &'a Machine,
-    ) -> LocalBoxFuture<'a, Result<FirmwareKind, MachineError>> {
+    ) -> BoxFuture<'a, Result<FirmwareKind, MachineError>> {
         Box::pin(machine.run_firmware(&self.sim))
     }
     fn measure_download(
@@ -223,7 +224,7 @@ impl AttestationService for NullAttestation {
         &'a self,
         _agent: &'a Agent,
         _rng: &'a mut dyn RandomSource,
-    ) -> LocalBoxFuture<'a, Result<(), RegisterError>> {
+    ) -> BoxFuture<'a, Result<(), RegisterError>> {
         Box::pin(async { Ok(()) })
     }
     fn registered_ek(&self, _agent_id: &str) -> Option<PublicKey> {
@@ -243,7 +244,7 @@ impl AttestationService for NullAttestation {
         &'a self,
         _node_id: &'a str,
         _continuous: bool,
-    ) -> LocalBoxFuture<'a, AttestOutcome> {
+    ) -> BoxFuture<'a, AttestOutcome> {
         Box::pin(async { AttestOutcome::Trusted })
     }
     fn stop(&self, _node_id: &str) {}
@@ -291,14 +292,14 @@ fn mock_backend_provisions_end_to_end_through_trait_objects() {
         airlock: Resource::new(&sim, 1),
     };
     let services = Services {
-        isolation: Rc::new(NullIsolation {
+        isolation: Arc::new(NullIsolation {
             machine: machine.clone(),
             ek: ek.clone(),
-            networks: RefCell::new(0),
+            networks: Mutex::new(0),
         }),
-        attestation: Rc::new(NullAttestation { ek }),
-        provisioning: Rc::new(StandaloneBmi(bmi)),
-        boot: Rc::new(NullBoot {
+        attestation: Arc::new(NullAttestation { ek }),
+        provisioning: Arc::new(StandaloneBmi(bmi)),
+        boot: Arc::new(NullBoot {
             sim: sim.clone(),
             machine: machine.clone(),
         }),
