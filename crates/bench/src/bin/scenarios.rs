@@ -1,0 +1,100 @@
+//! Adversarial-scenario artifact: the hostile-coexistence exit gate.
+//!
+//! Runs the five paper scenarios ([`bolted_core::paper_scenarios`]) at
+//! pool worker counts 1, 2 and 4, checks that every isolation invariant
+//! and degradation bound holds, and that the run fingerprint — every
+//! measurement, span tree, metrics snapshot and check verdict — is
+//! byte-identical across worker counts.
+//!
+//! ```text
+//! cargo run --release -p bolted-bench --bin scenarios [-- --smoke]
+//! ```
+//!
+//! Writes `results/scenarios.json` (per-scenario verdicts, measurements
+//! and victim-vs-baseline degradation ratios) when run from the repo
+//! root, and echoes the same JSON to stdout. `--smoke` runs the
+//! smoke-scale worlds as a pass/fail verify gate and never writes the
+//! file — a gate must not clobber the committed full-scale artifact.
+
+use bolted_core::{paper_scenarios, ScenarioScale};
+use bolted_crypto::sha256::sha256;
+use bolted_sim::run_scenarios;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        ScenarioScale::Smoke
+    } else {
+        ScenarioScale::Full
+    };
+
+    let mut fingerprint: Option<String> = None;
+    let mut report = None;
+    let mut byte_identical = true;
+    for &workers in &[1usize, 2, 4] {
+        let run = run_scenarios(paper_scenarios(scale), workers);
+        let fp = run.fingerprint();
+        eprintln!(
+            "workers={workers} scenarios={} passed={} digest={}",
+            run.outcomes.len(),
+            run.passed(),
+            &sha256(fp.as_bytes()).to_hex()[..12],
+        );
+        match &fingerprint {
+            None => fingerprint = Some(fp),
+            Some(first) if *first != fp => byte_identical = false,
+            Some(_) => {}
+        }
+        report = Some(run);
+    }
+    let Some(report) = report else {
+        eprintln!("no scenario runs executed");
+        std::process::exit(1);
+    };
+
+    for outcome in &report.outcomes {
+        let verdict = if outcome.passed() { "PASS" } else { "FAIL" };
+        eprintln!("[{verdict}] {}: {}", outcome.name, outcome.description);
+        for check in outcome.checks.iter().filter(|c| !c.passed) {
+            eprintln!("       violated: {}", check.detail);
+        }
+    }
+
+    let digest = fingerprint
+        .as_deref()
+        .map(|fp| sha256(fp.as_bytes()).to_hex())
+        .unwrap_or_default();
+    let json = {
+        let body = report.to_json();
+        // Wrap the harness JSON with the run-level identity fields the
+        // artifact consumers key on.
+        let inner = body
+            .strip_prefix("{\n")
+            .and_then(|rest| rest.strip_suffix("}\n"))
+            .unwrap_or(&body);
+        format!(
+            "{{\n  \"bench\": \"scenarios\",\n  \"mode\": \"{}\",\n  \"passed\": {},\n  \
+             \"byte_identical\": {byte_identical},\n  \"fingerprint_sha256\": \"{digest}\",\n{inner}}}\n",
+            if smoke { "smoke" } else { "full" },
+            report.passed(),
+        )
+    };
+    print!("{json}");
+
+    // Smoke mode is a pass/fail gate: never overwrite the committed
+    // full-scale artifact with toy-sized worlds.
+    if !smoke {
+        if let Err(e) = std::fs::write("results/scenarios.json", &json) {
+            eprintln!("could not write results/scenarios.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !byte_identical {
+        eprintln!("FAIL: scenario fingerprint changed with worker count — determinism broken");
+        std::process::exit(1);
+    }
+    if !report.passed() {
+        eprintln!("FAIL: scenarios violated bounds: {:?}", report.failures());
+        std::process::exit(1);
+    }
+}

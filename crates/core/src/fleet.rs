@@ -31,8 +31,12 @@ pub struct FleetSpec {
     /// Independent deterministic worlds. Fixed by the caller — never by
     /// the machine — so a run's shape is host-independent.
     pub shards: usize,
-    /// Servers per shard.
+    /// Base servers per shard.
     pub nodes_per_shard: usize,
+    /// Remainder of a non-divisible split: the first `extra_nodes`
+    /// shards carry one node more than `nodes_per_shard`, so no node of
+    /// a `total` that doesn't divide evenly is silently dropped.
+    pub extra_nodes: usize,
     /// Base seed for the whole fleet.
     pub seed: u64,
     /// Security profile every node is provisioned under.
@@ -46,14 +50,35 @@ impl FleetSpec {
         FleetSpec {
             shards,
             nodes_per_shard,
+            extra_nodes: 0,
             seed,
             profile: SecurityProfile::charlie(),
         }
     }
 
+    /// Splits `total` nodes across `shards` worlds as evenly as
+    /// possible: every shard gets `total / shards` nodes and the first
+    /// `total % shards` shards one extra, so the spec provisions exactly
+    /// `total` nodes even when the division doesn't come out even.
+    pub fn split_total(total: usize, shards: usize, seed: u64) -> FleetSpec {
+        let shards = shards.max(1);
+        FleetSpec {
+            shards,
+            nodes_per_shard: total / shards,
+            extra_nodes: total % shards,
+            seed,
+            profile: SecurityProfile::charlie(),
+        }
+    }
+
+    /// Nodes assigned to one shard under the remainder-spreading split.
+    pub fn shard_nodes(&self, shard: usize) -> usize {
+        self.nodes_per_shard + usize::from(shard < self.extra_nodes)
+    }
+
     /// Total nodes across all shards.
     pub fn total_nodes(&self) -> usize {
-        self.shards * self.nodes_per_shard
+        self.shards * self.nodes_per_shard + self.extra_nodes
     }
 }
 
@@ -119,7 +144,7 @@ fn run_shard(spec: &FleetSpec, shard: usize) -> Result<ShardOutcome, ProvisionEr
     let cloud = Cloud::build(
         &sim,
         CloudConfig {
-            nodes: spec.nodes_per_shard,
+            nodes: spec.shard_nodes(shard),
             seed: mix_seed(spec.seed, &["fleet-shard", &idx]),
             ..CloudConfig::default()
         },
@@ -187,6 +212,56 @@ mod tests {
             four.digest(),
             "fleet run depends on worker count"
         );
+    }
+
+    #[test]
+    fn split_total_never_drops_or_invents_nodes() {
+        // Property sweep over the pure split: for every (total, shards)
+        // the per-shard counts must sum back to the total, differ by at
+        // most one node, and put the bigger shards first.
+        for total in 0..=40 {
+            for shards in 1..=9 {
+                let spec = FleetSpec::split_total(total, shards, 1);
+                let per: Vec<usize> = (0..spec.shards).map(|s| spec.shard_nodes(s)).collect();
+                assert_eq!(
+                    per.iter().sum::<usize>(),
+                    total,
+                    "{total}/{shards}: {per:?}"
+                );
+                assert_eq!(spec.total_nodes(), total);
+                let (min, max) = (per.iter().min().unwrap(), per.iter().max().unwrap());
+                assert!(max - min <= 1, "{total}/{shards}: uneven split {per:?}");
+                assert!(per.windows(2).all(|w| w[0] >= w[1]), "{per:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_totals_provision_exactly_the_spec_at_every_worker_count() {
+        // The property test behind the remainder fix: 10 nodes across 3
+        // shards (4+3+3) and 2 across 3 (1+1+0 — one empty shard) must
+        // provision exactly the spec total at worker counts 1, 2, 3 and
+        // 7, with identical digests throughout.
+        for &total in &[10usize, 2] {
+            let spec = FleetSpec::split_total(total, 3, 0xD117);
+            assert_eq!(spec.total_nodes(), total);
+            let mut digest = None;
+            for &workers in &[1usize, 2, 3, 7] {
+                let run = provision_fleet_parallel(&spec, workers).expect("fleet run");
+                assert_eq!(
+                    run.ok(),
+                    total,
+                    "total={total} workers={workers}: provisioned {} of {total}",
+                    run.ok()
+                );
+                assert_eq!(run.failed(), 0);
+                let d = run.digest();
+                match &digest {
+                    None => digest = Some(d),
+                    Some(first) => assert_eq!(*first, d, "workers={workers} digest diverged"),
+                }
+            }
+        }
     }
 
     #[test]

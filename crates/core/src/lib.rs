@@ -20,6 +20,7 @@ pub mod foreman;
 pub mod lifecycle;
 pub mod profile;
 pub mod provision;
+pub mod scenario;
 pub mod services;
 
 pub use calib::Calibration;
@@ -33,6 +34,10 @@ pub use lifecycle::{InvalidTransition, Lifecycle, NodeState};
 pub use profile::{AttestationMode, SecurityProfile};
 pub use provision::{
     FleetFailure, FleetReport, ProvisionError, ProvisionReport, ProvisionedNode, Tenant,
+};
+pub use scenario::{
+    airlock_starvation, noisy_neighbor_storage, paper_scenarios, quote_storm, runbook_replay,
+    vlan_exhaustion, ScenarioScale,
 };
 pub use services::{
     AttestationService, BootService, BoxFuture, IsolationService, KeylimeAttestation,

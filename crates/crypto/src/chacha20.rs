@@ -132,8 +132,19 @@ impl ChaCha20 {
     /// Callers that derive one nonce per 2³²-block stream (every caller
     /// in this workspace) never observe the carry.
     pub fn xor(&self, nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+        self.xor_at(nonce, u64::from(initial_counter), data);
+    }
+
+    /// [`Chacha20::xor`] starting from a 64-bit *extended* block
+    /// counter — the resume point for a stream that has already crossed
+    /// the 2³² boundary. `xor_at(n, c, data)` produces exactly the bytes
+    /// `xor(n, 0, ...)` would have produced at block offset `c`, so a
+    /// long stream can be encrypted in chunks of any size, on any mix of
+    /// the wide and scalar paths, and the composition is byte-identical
+    /// to one shot.
+    pub fn xor_at(&self, nonce: &[u8; NONCE_LEN], initial_counter: u64, data: &mut [u8]) {
         let n = nonce_words(nonce);
-        let mut counter = u64::from(initial_counter);
+        let mut counter = initial_counter;
         let mut rest = data;
         while rest.len() >= 64 * WIDE {
             let (batch, tail) = rest.split_at_mut(64 * WIDE);
@@ -489,6 +500,61 @@ mod tests {
             }
             cipher.xor(&nonce, start, &mut data);
             assert_eq!(data, expect, "back={back} len={len}");
+        }
+    }
+
+    #[test]
+    fn xor_at_agrees_with_xor_over_the_32_bit_counter_range() {
+        // `xor` is defined as `xor_at` at the zero-extended counter; the
+        // two entry points must agree everywhere a u32 counter exists,
+        // including the very last pre-wrap block.
+        let key = key_from_hexish();
+        let cipher = ChaCha20::new(&key);
+        let nonce = [0x42u8; 12];
+        for counter in [0u32, 1, 1000, u32::MAX - 1, u32::MAX] {
+            let mut a: Vec<u8> = (0..300).map(|i| (i * 13) as u8).collect();
+            let mut b = a.clone();
+            cipher.xor(&nonce, counter, &mut a);
+            cipher.xor_at(&nonce, u64::from(counter), &mut b);
+            assert_eq!(a, b, "counter={counter}");
+        }
+    }
+
+    #[test]
+    fn chunked_xor_at_recomposes_the_one_shot_stream_across_the_wrap() {
+        // The resume contract: a stream started eight blocks below the
+        // 2^32 boundary, cut on block edges into chunks, must recompose
+        // byte for byte no matter which tier the cut routes the boundary
+        // block through — xor_at at block offset c continues exactly
+        // where the previous chunk stopped, carry included.
+        let key = key_from_hexish();
+        let cipher = ChaCha20::new(&key);
+        let nonce = [0x5cu8; 12];
+        let start = (1u64 << 32) - 8;
+        let plain: Vec<u8> = (0..2500).map(|i| (i * 31 + 7) as u8).collect();
+        let mut oneshot = plain.clone();
+        cipher.xor_at(&nonce, start, &mut oneshot);
+        // Chunk schedules in bytes; every cut lands on a 64-byte block
+        // edge except the ragged tail. Each schedule lands the boundary
+        // block in a different tier of the chunk that crosses it:
+        // 16-wide, 8-wide, 4-wide, then the scalar per-block path.
+        let schedules: [&[usize]; 4] = [
+            &[1024, 512, 256, 192, 64, 452],
+            &[256, 512, 1024, 256, 452],
+            &[256, 192, 256, 1024, 512, 260],
+            &[64, 64, 64, 64, 64, 64, 64, 64, 64, 1024, 900],
+        ];
+        for (s, schedule) in schedules.iter().enumerate() {
+            let mut chunked = plain.clone();
+            let mut counter = start;
+            let mut off = 0usize;
+            for &len in *schedule {
+                cipher.xor_at(&nonce, counter, &mut chunked[off..off + len]);
+                counter += (len as u64) / 64;
+                off += len;
+            }
+            assert_eq!(off, plain.len(), "schedule {s} must cover the buffer");
+            assert_eq!(chunked, oneshot, "schedule {s} diverged from one shot");
         }
     }
 

@@ -80,6 +80,11 @@ pub enum HilError {
     NodeBusy,
     /// The VLAN pool is exhausted.
     NoFreeVlans,
+    /// The project hit its per-project network quota. Distinct from
+    /// [`HilError::NoFreeVlans`]: quota protects the *shared* pool from
+    /// one tenant, so other tenants keep allocating when a hostile
+    /// project hits this.
+    QuotaExceeded,
     /// Underlying switch operation failed.
     Switch(NetError),
     /// Underlying BMC operation failed.
@@ -94,6 +99,7 @@ impl std::fmt::Display for HilError {
             HilError::NoSuchNetwork => write!(f, "no such network"),
             HilError::NodeBusy => write!(f, "node already allocated"),
             HilError::NoFreeVlans => write!(f, "VLAN pool exhausted"),
+            HilError::QuotaExceeded => write!(f, "per-project network quota exceeded"),
             HilError::Switch(e) => write!(f, "switch error: {e}"),
             HilError::Bmc(e) => write!(f, "BMC error: {e}"),
         }
@@ -156,6 +162,9 @@ struct HilInner {
     nodes: Vec<Node>,
     networks: Vec<Option<Network>>,
     vlan_pool: Vec<VlanId>,
+    /// Per-project cap on live networks; `None` is unlimited (the
+    /// historical behaviour).
+    network_quota: Option<usize>,
     audit: Vec<String>,
     /// Optional counters/gauges: HIL is sim-free (minimal TCB), so it
     /// only uses the gate's synchronous counting side — never timings.
@@ -178,6 +187,7 @@ impl Hil {
                 nodes: Vec::new(),
                 networks: Vec::new(),
                 vlan_pool: (100..1100).rev().collect(),
+                network_quota: None,
                 audit: Vec::new(),
                 gate: OpGate::disabled(),
             })),
@@ -353,6 +363,20 @@ impl Hil {
         Ok(())
     }
 
+    /// Caps how many live networks any single project may hold; `None`
+    /// removes the cap. The quota is what keeps a hostile tenant's
+    /// create-network spam from exhausting the shared VLAN pool: the
+    /// spammer hits [`HilError::QuotaExceeded`] while other projects
+    /// keep drawing VLANs.
+    pub fn set_network_quota(&self, quota: Option<usize>) {
+        lock(&self.inner).network_quota = quota;
+    }
+
+    /// How many VLANs remain in the shared provider pool.
+    pub fn free_vlans(&self) -> usize {
+        lock(&self.inner).vlan_pool.len()
+    }
+
     /// Creates an isolated network for a project, drawing a VLAN from the
     /// provider pool.
     pub fn create_network(
@@ -362,6 +386,17 @@ impl Hil {
     ) -> Result<NetworkId, HilError> {
         let name = name.into();
         let mut inner = lock(&self.inner);
+        if let Some(quota) = inner.network_quota {
+            let live = inner
+                .networks
+                .iter()
+                .flatten()
+                .filter(|n| n.owner == project)
+                .count();
+            if live >= quota {
+                return Err(HilError::QuotaExceeded);
+            }
+        }
         let vlan = inner.vlan_pool.pop().ok_or(HilError::NoFreeVlans)?;
         let id = NetworkId(inner.networks.len());
         inner.networks.push(Some(Network {
@@ -571,6 +606,31 @@ mod tests {
         let va = hil.network_vlan("p1", a).expect("vlan");
         let vb = hil.network_vlan("p2", b).expect("vlan");
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn network_quota_caps_one_project_without_starving_others() {
+        let (_sim, _fabric, hil, _n1, _n2) = setup();
+        hil.set_network_quota(Some(2));
+        let free_before = hil.free_vlans();
+        let a = hil.create_network("mallory", "m-0").expect("under quota");
+        let _b = hil.create_network("mallory", "m-1").expect("at quota");
+        // The spammer is refused by quota — not by pool exhaustion.
+        assert_eq!(
+            hil.create_network("mallory", "m-2"),
+            Err(HilError::QuotaExceeded)
+        );
+        assert_eq!(hil.free_vlans(), free_before - 2);
+        // A different project still allocates freely.
+        hil.create_network("charlie", "enclave")
+            .expect("other project ok");
+        // Deleting frees quota headroom again.
+        hil.delete_network("mallory", a).expect("deletes");
+        hil.create_network("mallory", "m-3")
+            .expect("back under quota");
+        // Lifting the cap restores the historical behaviour.
+        hil.set_network_quota(None);
+        hil.create_network("mallory", "m-4").expect("uncapped");
     }
 
     #[test]

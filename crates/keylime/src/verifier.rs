@@ -17,7 +17,9 @@ use bolted_sim::lock;
 use bolted_crypto::rsa::PublicKey;
 use bolted_crypto::sha256::Digest;
 use bolted_sim::fault::{mix_seed, ops, Faults};
-use bolted_sim::{channel, join_all, JoinHandle, Receiver, Rng, Sender, Sim, SimDuration, SimTime};
+use bolted_sim::{
+    channel, join_all, JoinHandle, Receiver, Resource, Rng, Sender, Sim, SimDuration, SimTime,
+};
 use bolted_sim::{CallEnv, Metrics, RetryError, RetryPolicy, SpanId, Spans};
 use bolted_tpm::{index, PcrBank, Quote, TpmError};
 
@@ -53,6 +55,13 @@ pub struct VerifierConfig {
     /// count only affects which thread runs a chunk, never the results
     /// or any accounting derived from them.
     pub batch_workers: Option<usize>,
+    /// Verification capacity: how many quote verifications the verifier
+    /// can run concurrently (FIFO beyond that). `None` models unbounded
+    /// capacity — every round charges `verify_cost` with no queueing —
+    /// which is byte-identical to the pre-capacity behaviour. A small
+    /// `Some(n)` makes the verifier a saturable shared service, the
+    /// surface a quote-storm DoS attacks.
+    pub verify_slots: Option<usize>,
 }
 
 impl Default for VerifierConfig {
@@ -71,6 +80,7 @@ impl Default for VerifierConfig {
             ],
             retry: RetryPolicy::default(),
             batch_workers: None,
+            verify_slots: None,
         }
     }
 }
@@ -225,6 +235,9 @@ pub struct Verifier {
     env: CallEnv,
     inner: Arc<Mutex<VerifierInner>>,
     aik_cache: Arc<AikCache>,
+    /// FIFO verification slots when [`VerifierConfig::verify_slots`] is
+    /// bounded; `None` means infinite capacity (no queue, no contention).
+    verify_slots: Option<Resource>,
 }
 
 impl Verifier {
@@ -232,6 +245,7 @@ impl Verifier {
     pub fn new(sim: &Sim, registrar: &Registrar, config: VerifierConfig) -> Self {
         Verifier {
             registrar: registrar.clone(),
+            verify_slots: config.verify_slots.map(|n| Resource::new(sim, n.max(1))),
             config,
             env: CallEnv::new(sim),
             inner: Arc::new(Mutex::new(VerifierInner {
@@ -560,7 +574,14 @@ impl Verifier {
                 });
             }
         };
-        self.sim().sleep(self.config.verify_cost).await;
+        // Verification CPU budget. Under bounded capacity the round
+        // queues FIFO for a slot and holds it for the whole budget — a
+        // saturated verifier is how a quote storm steals victim latency;
+        // with unbounded capacity this is exactly the old plain sleep.
+        match &self.verify_slots {
+            Some(slots) => slots.visit(self.config.verify_cost).await,
+            None => self.sim().sleep(self.config.verify_cost).await,
+        }
         Ok(PendingAttest {
             node_id: node_id.to_string(),
             agent,

@@ -182,9 +182,9 @@ pub struct Config {
     /// control plane (rule L1).
     pub control_plane: Vec<String>,
     /// Individual workspace-relative files held to the same L1 standard
-    /// without pulling their whole crate in — the executor and pool
-    /// modules of `bolted-sim`, which every control-plane future now
-    /// runs on.
+    /// without pulling their whole crate in — the executor, pool and
+    /// scenario-harness modules of `bolted-sim`, which every
+    /// control-plane future now runs on.
     pub control_plane_files: Vec<String>,
     /// Workspace-relative path of the service-trait definitions
     /// (rule L3 reads the trait methods from here).
@@ -204,10 +204,14 @@ impl Config {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
-            control_plane_files: ["crates/sim/src/executor.rs", "crates/sim/src/pool.rs"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            control_plane_files: [
+                "crates/sim/src/executor.rs",
+                "crates/sim/src/pool.rs",
+                "crates/sim/src/scenario.rs",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             services_path: "crates/core/src/services.rs".to_string(),
             fault_ops_path: "crates/sim/src/fault.rs".to_string(),
             secrets: SecretsManifest::default(),

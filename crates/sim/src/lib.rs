@@ -21,6 +21,7 @@ pub mod metrics;
 pub mod pool;
 mod retry;
 mod rng;
+pub mod scenario;
 pub mod span;
 mod stats;
 mod sync;
@@ -34,6 +35,10 @@ pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use pool::{max_workers, run_jobs};
 pub use retry::{retry, retry_if, retry_if_observed, with_timeout, RetryError, RetryPolicy};
 pub use rng::{Rng, SplitMix64};
+pub use scenario::{
+    run_scenarios, Bound, CheckOutcome, Scenario, ScenarioOutcome, ScenarioRunReport, WorldFn,
+    WorldReport,
+};
 pub use span::{SpanGuard, SpanId, SpanRecord, Spans};
 pub use stats::{OnlineStats, Samples};
 pub use sync::{channel, Acquire, Event, EventWait, Permit, Receiver, Recv, Resource, Sender};

@@ -1,0 +1,629 @@
+//! Adversarial-coexistence scenario harness.
+//!
+//! A [`Scenario`] pairs two deterministic world runs under one seed: a
+//! **baseline** (the victim alone) and a **hostile** run (the same
+//! victim sharing the world with an attacker workload and/or an injected
+//! fault plan). Each world reports named scalar [`WorldReport`]
+//! measurements plus its rendered span tree and metrics snapshot; the
+//! harness then evaluates two kinds of machine-checked assertions over
+//! the pair:
+//!
+//! * **isolation invariants** — exact equalities on the hostile run
+//!   (victim nodes all provisioned, zero foreign key releases, zero
+//!   verdict flips, zero cross-tenant VLAN paths), and
+//! * **degradation/recovery bounds** — numeric limits, absolute
+//!   (`recovery ≤ T` virtual seconds) or relative to the baseline
+//!   (`victim p99 ≤ K × baseline`).
+//!
+//! Determinism contract: a world function must build its *entire* world
+//! — executor, cloud, tenants — from the seed it is handed and drive it
+//! on the calling thread, exactly like a fleet shard. Scenarios are then
+//! pure functions of `(definition, seed)`, so a scenario list pushed
+//! through the [`run_jobs`] pool produces byte-identical
+//! [`ScenarioRunReport::fingerprint`]s at any worker count: the pool
+//! only decides wall-clock time, never a single reported byte.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::pool::run_jobs;
+
+/// Everything one deterministic world run reports back to the harness:
+/// named scalar measurements plus the run's full observability output.
+#[derive(Debug, Clone, Default)]
+pub struct WorldReport {
+    measurements: BTreeMap<String, f64>,
+    /// The world's rendered span tree (global-sequence ordered).
+    pub spans: String,
+    /// The world's metrics snapshot JSON.
+    pub metrics: String,
+}
+
+impl WorldReport {
+    /// An empty report.
+    pub fn new() -> WorldReport {
+        WorldReport::default()
+    }
+
+    /// Records (or overwrites) a named scalar measurement.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.measurements.insert(name.to_string(), value);
+    }
+
+    /// Looks up a measurement.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.measurements.get(name).copied()
+    }
+
+    /// All measurements, in name order.
+    pub fn measurements(&self) -> &BTreeMap<String, f64> {
+        &self.measurements
+    }
+
+    /// Appends every byte this report contributes to a run fingerprint.
+    fn fingerprint_into(&self, out: &mut String) {
+        for (name, value) in &self.measurements {
+            let _ = writeln!(out, "m {name}={value:?}");
+        }
+        out.push_str(&self.spans);
+        out.push_str(&self.metrics);
+    }
+}
+
+/// A machine-checked assertion over the baseline/hostile pair.
+#[derive(Debug, Clone)]
+pub enum Bound {
+    /// Isolation invariant: the hostile run's measurement must equal
+    /// `expected` exactly (counts compare exactly in f64).
+    IsolationEquals {
+        /// Measurement name in the hostile report.
+        measurement: String,
+        /// Required exact value.
+        expected: f64,
+    },
+    /// Degradation bound: `hostile / baseline ≤ max` for the same
+    /// measurement in both reports.
+    RatioAtMost {
+        /// Measurement name present in both reports.
+        measurement: String,
+        /// Largest acceptable hostile/baseline ratio.
+        max: f64,
+    },
+    /// Potency check: `hostile / baseline ≥ min` — proves the attack
+    /// actually bit (a bound over an inert attack proves nothing).
+    RatioAtLeast {
+        /// Measurement name present in both reports.
+        measurement: String,
+        /// Smallest acceptable hostile/baseline ratio.
+        min: f64,
+    },
+    /// Absolute bound: the hostile run's measurement is at most `max`
+    /// (e.g. recovery time in virtual seconds).
+    AtMost {
+        /// Measurement name in the hostile report.
+        measurement: String,
+        /// Largest acceptable value.
+        max: f64,
+    },
+    /// Absolute floor: the hostile run's measurement is at least `min`
+    /// (e.g. free VLANs remaining after an exhaustion attack).
+    AtLeast {
+        /// Measurement name in the hostile report.
+        measurement: String,
+        /// Smallest acceptable value.
+        min: f64,
+    },
+}
+
+impl Bound {
+    /// `"isolation"` for exact invariants, `"bound"` for numeric limits.
+    fn kind(&self) -> &'static str {
+        match self {
+            Bound::IsolationEquals { .. } => "isolation",
+            _ => "bound",
+        }
+    }
+}
+
+/// The hostile/baseline ratio for one measurement. A zero baseline maps
+/// to 1.0 when the hostile value is also zero (nothing degraded) and to
+/// infinity otherwise, so bounds stay meaningful without dividing by
+/// zero.
+fn ratio(hostile: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        if hostile == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        hostile / baseline
+    }
+}
+
+/// One evaluated assertion.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The measurement the check looked at.
+    pub measurement: String,
+    /// `"isolation"` or `"bound"`.
+    pub kind: &'static str,
+    /// Whether the assertion held.
+    pub passed: bool,
+    /// The value the check compared (a raw measurement or a ratio).
+    pub observed: f64,
+    /// The limit it was compared against.
+    pub limit: f64,
+    /// Human-readable restatement of the comparison.
+    pub detail: String,
+}
+
+fn evaluate(bound: &Bound, baseline: &WorldReport, hostile: &WorldReport) -> CheckOutcome {
+    let missing = |name: &str, limit: f64| CheckOutcome {
+        measurement: name.to_string(),
+        kind: bound.kind(),
+        passed: false,
+        observed: f64::NAN,
+        limit,
+        detail: format!("measurement {name} missing from report"),
+    };
+    match bound {
+        Bound::IsolationEquals {
+            measurement,
+            expected,
+        } => match hostile.get(measurement) {
+            None => missing(measurement, *expected),
+            Some(v) => CheckOutcome {
+                measurement: measurement.clone(),
+                kind: bound.kind(),
+                passed: v == *expected,
+                observed: v,
+                limit: *expected,
+                detail: format!("{measurement} = {v:?}, invariant requires exactly {expected:?}"),
+            },
+        },
+        Bound::RatioAtMost { measurement, max }
+        | Bound::RatioAtLeast {
+            measurement,
+            min: max,
+        } => {
+            let (h, b) = match (hostile.get(measurement), baseline.get(measurement)) {
+                (Some(h), Some(b)) => (h, b),
+                _ => return missing(measurement, *max),
+            };
+            let r = ratio(h, b);
+            let (passed, rel) = match bound {
+                Bound::RatioAtMost { .. } => (r <= *max, "<="),
+                _ => (r >= *max, ">="),
+            };
+            CheckOutcome {
+                measurement: measurement.clone(),
+                kind: bound.kind(),
+                passed,
+                observed: r,
+                limit: *max,
+                detail: format!(
+                    "{measurement} hostile/baseline = {h:?}/{b:?} = {r:.3}, bound {rel} {max:?}"
+                ),
+            }
+        }
+        Bound::AtMost { measurement, max }
+        | Bound::AtLeast {
+            measurement,
+            min: max,
+        } => match hostile.get(measurement) {
+            None => missing(measurement, *max),
+            Some(v) => {
+                let (passed, rel) = match bound {
+                    Bound::AtMost { .. } => (v <= *max, "<="),
+                    _ => (v >= *max, ">="),
+                };
+                CheckOutcome {
+                    measurement: measurement.clone(),
+                    kind: bound.kind(),
+                    passed,
+                    observed: v,
+                    limit: *max,
+                    detail: format!("{measurement} = {v:?}, bound {rel} {max:?}"),
+                }
+            }
+        },
+    }
+}
+
+/// A world-builder: hands the scenario seed to a function that stands up
+/// a complete deterministic world, drives it to completion on the
+/// calling thread, and reports what it measured.
+pub type WorldFn = Arc<dyn Fn(u64) -> WorldReport + Send + Sync>;
+
+/// One adversarial-coexistence scenario: an attacker workload, a victim
+/// workload, and the assertions that bound their interaction.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Stable scenario name (keys the JSON artifact).
+    pub name: String,
+    /// One-line description of attacker, victim and expected outcome.
+    pub description: String,
+    /// Seed handed to both world functions.
+    pub seed: u64,
+    baseline: WorldFn,
+    hostile: WorldFn,
+    checks: Vec<Bound>,
+}
+
+impl Scenario {
+    /// A scenario over two world functions. `baseline` runs the victim
+    /// alone; `hostile` runs the identical victim next to the attacker.
+    pub fn new(
+        name: &str,
+        description: &str,
+        seed: u64,
+        baseline: WorldFn,
+        hostile: WorldFn,
+    ) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            description: description.to_string(),
+            seed,
+            baseline,
+            hostile,
+            checks: Vec::new(),
+        }
+    }
+
+    /// Adds an exact isolation invariant on the hostile run.
+    pub fn isolation_equals(mut self, measurement: &str, expected: f64) -> Scenario {
+        self.checks.push(Bound::IsolationEquals {
+            measurement: measurement.to_string(),
+            expected,
+        });
+        self
+    }
+
+    /// Adds a `hostile/baseline ≤ max` degradation bound.
+    pub fn ratio_at_most(mut self, measurement: &str, max: f64) -> Scenario {
+        self.checks.push(Bound::RatioAtMost {
+            measurement: measurement.to_string(),
+            max,
+        });
+        self
+    }
+
+    /// Adds a `hostile/baseline ≥ min` potency floor.
+    pub fn ratio_at_least(mut self, measurement: &str, min: f64) -> Scenario {
+        self.checks.push(Bound::RatioAtLeast {
+            measurement: measurement.to_string(),
+            min,
+        });
+        self
+    }
+
+    /// Adds an absolute `hostile ≤ max` bound.
+    pub fn at_most(mut self, measurement: &str, max: f64) -> Scenario {
+        self.checks.push(Bound::AtMost {
+            measurement: measurement.to_string(),
+            max,
+        });
+        self
+    }
+
+    /// Adds an absolute `hostile ≥ min` floor.
+    pub fn at_least(mut self, measurement: &str, min: f64) -> Scenario {
+        self.checks.push(Bound::AtLeast {
+            measurement: measurement.to_string(),
+            min,
+        });
+        self
+    }
+
+    /// Runs baseline then hostile on the calling thread and evaluates
+    /// every check. Pure in `(self, seed)`: two calls return
+    /// byte-identical outcomes.
+    pub fn run(&self) -> ScenarioOutcome {
+        let baseline = (self.baseline)(self.seed);
+        let hostile = (self.hostile)(self.seed);
+        let checks = self
+            .checks
+            .iter()
+            .map(|b| evaluate(b, &baseline, &hostile))
+            .collect();
+        ScenarioOutcome {
+            name: self.name.clone(),
+            description: self.description.clone(),
+            seed: self.seed,
+            baseline,
+            hostile,
+            checks,
+        }
+    }
+}
+
+/// A fully evaluated scenario: both world reports plus every check.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario description.
+    pub description: String,
+    /// Seed both worlds ran under.
+    pub seed: u64,
+    /// The victim-alone run.
+    pub baseline: WorldReport,
+    /// The victim-plus-attacker run.
+    pub hostile: WorldReport,
+    /// Evaluated assertions, in declaration order.
+    pub checks: Vec<CheckOutcome>,
+}
+
+impl ScenarioOutcome {
+    /// True when every check held.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Hostile/baseline ratio for a measurement present in both runs.
+    pub fn ratio(&self, measurement: &str) -> Option<f64> {
+        match (
+            self.hostile.get(measurement),
+            self.baseline.get(measurement),
+        ) {
+            (Some(h), Some(b)) => Some(ratio(h, b)),
+            _ => None,
+        }
+    }
+
+    /// Per-measurement hostile/baseline ratios, for every measurement
+    /// the two runs share, in name order.
+    pub fn ratios(&self) -> Vec<(String, f64)> {
+        self.baseline
+            .measurements()
+            .keys()
+            .filter_map(|name| self.ratio(name).map(|r| (name.clone(), r)))
+            .collect()
+    }
+}
+
+/// The merged result of running a scenario list.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunReport {
+    /// Per-scenario outcomes, in input order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl ScenarioRunReport {
+    /// True when every scenario passed every check.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.passed())
+    }
+
+    /// Names of scenarios with at least one failed check.
+    pub fn failures(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.passed())
+            .map(|o| o.name.clone())
+            .collect()
+    }
+
+    /// Every observable byte of the run — scenario names, seeds, all
+    /// measurements, both worlds' spans and metrics, and every check
+    /// verdict — concatenated in order. Two runs of the same scenario
+    /// list must produce equal fingerprints regardless of pool worker
+    /// count; this is the byte-identity acceptance check (hash it for a
+    /// short digest).
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let _ = writeln!(out, "scenario {} seed={:#x}", o.name, o.seed);
+            out.push_str("baseline\n");
+            o.baseline.fingerprint_into(&mut out);
+            out.push_str("hostile\n");
+            o.hostile.fingerprint_into(&mut out);
+            for c in &o.checks {
+                let _ = writeln!(
+                    out,
+                    "check {} kind={} passed={} observed={:?} limit={:?}",
+                    c.measurement, c.kind, c.passed, c.observed, c.limit
+                );
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON for `results/scenarios.json`: per-scenario
+    /// verdicts, checks, both runs' measurements and victim-vs-baseline
+    /// ratios.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"scenarios\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_string(&o.name));
+            let _ = writeln!(
+                out,
+                "      \"description\": {},",
+                json_string(&o.description)
+            );
+            let _ = writeln!(out, "      \"seed\": {},", o.seed);
+            let _ = writeln!(out, "      \"passed\": {},", o.passed());
+            out.push_str("      \"checks\": [\n");
+            for (j, c) in o.checks.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"measurement\": {}, \"kind\": \"{}\", \"passed\": {}, \
+                     \"observed\": {}, \"limit\": {}, \"detail\": {}}}",
+                    json_string(&c.measurement),
+                    c.kind,
+                    c.passed,
+                    json_f64(c.observed),
+                    json_f64(c.limit),
+                    json_string(&c.detail),
+                );
+                out.push_str(if j + 1 < o.checks.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ],\n");
+            json_measurements(&mut out, "baseline", o.baseline.measurements(), ",");
+            json_measurements(&mut out, "hostile", o.hostile.measurements(), ",");
+            let ratios: BTreeMap<String, f64> = o.ratios().into_iter().collect();
+            json_measurements(&mut out, "ratios", &ratios, "");
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.outcomes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_measurements(out: &mut String, key: &str, m: &BTreeMap<String, f64>, trailer: &str) {
+    let _ = write!(out, "      \"{key}\": {{");
+    for (i, (name, value)) in m.iter().enumerate() {
+        let comma = if i + 1 < m.len() { ", " } else { "" };
+        let _ = write!(out, "{}: {}{comma}", json_string(name), json_f64(*value));
+    }
+    let _ = writeln!(out, "}}{trailer}");
+}
+
+/// JSON-escapes a string (same dialect as the metrics snapshot).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an f64 as JSON; non-finite values (a missing-measurement
+/// check's NaN observation, an infinite ratio) become strings, since
+/// JSON has no literal for them.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        format!("\"{v:?}\"")
+    }
+}
+
+/// Runs every scenario across `workers` OS threads (each scenario's two
+/// worlds run back to back inside one job) and merges the outcomes in
+/// input order. Worker count is scheduling only: the report's
+/// [`ScenarioRunReport::fingerprint`] is a pure function of the
+/// scenario list.
+pub fn run_scenarios(scenarios: Vec<Scenario>, workers: usize) -> ScenarioRunReport {
+    let jobs: Vec<_> = scenarios.into_iter().map(|s| move || s.run()).collect();
+    ScenarioRunReport {
+        outcomes: run_jobs(workers, jobs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(pairs: &[(&str, f64)]) -> WorldFn {
+        let pairs: Vec<(String, f64)> = pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        Arc::new(move |seed| {
+            let mut r = WorldReport::new();
+            for (n, v) in &pairs {
+                r.set(n, *v);
+            }
+            r.set("seed", seed as f64);
+            r
+        })
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            "demo",
+            "synthetic",
+            7,
+            world(&[("p99", 2.0), ("ok", 3.0)]),
+            world(&[("p99", 5.0), ("ok", 3.0)]),
+        )
+        .isolation_equals("ok", 3.0)
+        .ratio_at_most("p99", 3.0)
+        .ratio_at_least("p99", 1.5)
+        .at_most("p99", 6.0)
+        .at_least("ok", 3.0)
+    }
+
+    #[test]
+    fn bounds_evaluate_against_the_right_world() {
+        let out = scenario().run();
+        assert!(out.passed(), "{:?}", out.checks);
+        assert_eq!(out.ratio("p99"), Some(2.5));
+        assert_eq!(out.checks.len(), 5);
+        assert_eq!(out.checks[0].kind, "isolation");
+        assert_eq!(out.checks[1].kind, "bound");
+    }
+
+    #[test]
+    fn violated_bound_fails_the_scenario() {
+        let out = Scenario::new(
+            "too-slow",
+            "",
+            1,
+            world(&[("p99", 1.0)]),
+            world(&[("p99", 9.0)]),
+        )
+        .ratio_at_most("p99", 2.0)
+        .run();
+        assert!(!out.passed());
+        assert_eq!(out.checks[0].observed, 9.0);
+    }
+
+    #[test]
+    fn missing_measurement_is_a_failed_check_not_a_panic() {
+        let out = Scenario::new("gap", "", 1, world(&[]), world(&[]))
+            .isolation_equals("absent", 0.0)
+            .run();
+        assert!(!out.passed());
+        assert!(out.checks[0].detail.contains("missing"));
+    }
+
+    #[test]
+    fn zero_baseline_ratios_are_defined() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(2.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fingerprint_is_identical_across_worker_counts() {
+        let list = || vec![scenario(), scenario(), scenario()];
+        let one = run_scenarios(list(), 1);
+        let four = run_scenarios(list(), 4);
+        assert!(!one.fingerprint().is_empty());
+        assert_eq!(one.fingerprint(), four.fingerprint());
+        assert_eq!(one.to_json(), four.to_json());
+    }
+
+    #[test]
+    fn json_has_ratios_and_verdicts() {
+        let json = run_scenarios(vec![scenario()], 1).to_json();
+        assert!(json.contains("\"ratios\""), "{json}");
+        assert!(json.contains("\"passed\": true"), "{json}");
+        assert!(json.contains("\"p99\": 2.5"), "{json}");
+    }
+
+    #[test]
+    fn non_finite_json_values_are_quoted() {
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -9,29 +9,12 @@
 //! 3. Everything is deterministic under a seed, and an empty fault plan
 //!    is entirely free — timings match a run with no plan at all.
 
-use bolted::core::{Cloud, CloudConfig, ProvisionError, SecurityProfile, Tenant};
-use bolted::firmware::KernelImage;
-use bolted::sim::fault::{ops, FaultPlan, FaultSpec};
-use bolted::sim::Sim;
-use bolted::storage::ImageId;
+mod common;
 
-fn build(nodes: usize, faults: FaultPlan) -> (Sim, Cloud, ImageId) {
-    let sim = Sim::new();
-    let cloud = Cloud::build(
-        &sim,
-        CloudConfig {
-            nodes,
-            faults,
-            ..CloudConfig::default()
-        },
-    );
-    let kernel = KernelImage::from_bytes("fedora28-4.17.9", b"vmlinuz+initrd");
-    let golden = cloud
-        .bmi
-        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
-        .expect("golden");
-    (sim, cloud, golden)
-}
+use bolted::core::{ProvisionError, SecurityProfile, Tenant};
+use bolted::sim::fault::{ops, FaultPlan, FaultSpec};
+
+use common::{provision_fleet, world};
 
 /// A plan that flaps every hardware-facing layer a bounded number of
 /// times (all recover within the default 4-attempt retry policy) and
@@ -47,18 +30,8 @@ fn flaky_everything(seed: u64) -> FaultPlan {
 
 #[test]
 fn transient_faults_are_retried_and_the_fleet_comes_up() {
-    let (sim, cloud, golden) = build(4, flaky_everything(0xC4A05));
-    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
-    let nodes = cloud.nodes();
-    let report = sim.block_on({
-        let tenant = tenant.clone();
-        let nodes = nodes.clone();
-        async move {
-            tenant
-                .provision_fleet_report(&nodes, &SecurityProfile::charlie(), golden)
-                .await
-        }
-    });
+    let (sim, cloud, golden) = world().nodes(4).faults(flaky_everything(0xC4A05)).build();
+    let report = provision_fleet(&sim, &cloud, golden, 4);
     assert_eq!(
         report.succeeded.len(),
         4,
@@ -84,18 +57,9 @@ fn transient_faults_are_retried_and_the_fleet_comes_up() {
 #[test]
 fn permanently_dead_bmc_degrades_gracefully() {
     let plan = FaultPlan::seeded(7).with_target(ops::BMC_POWER, "m620-02", FaultSpec::permanent());
-    let (sim, cloud, golden) = build(4, plan);
-    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
+    let (sim, cloud, golden) = world().nodes(4).faults(plan).build();
     let nodes = cloud.nodes();
-    let report = sim.block_on({
-        let tenant = tenant.clone();
-        let nodes = nodes.clone();
-        async move {
-            tenant
-                .provision_fleet_report(&nodes, &SecurityProfile::charlie(), golden)
-                .await
-        }
-    });
+    let report = provision_fleet(&sim, &cloud, golden, 4);
     // The three healthy nodes are unaffected.
     assert_eq!(report.succeeded.len(), 3);
     assert_eq!(report.failed.len(), 1);
@@ -118,17 +82,8 @@ fn permanently_dead_bmc_degrades_gracefully() {
 #[test]
 fn chaos_runs_are_deterministic_under_a_seed() {
     let run = || {
-        let (sim, cloud, golden) = build(4, flaky_everything(0xDE7E12));
-        let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
-        let nodes = cloud.nodes();
-        let report = sim.block_on({
-            let tenant = tenant.clone();
-            async move {
-                tenant
-                    .provision_fleet_report(&nodes, &SecurityProfile::charlie(), golden)
-                    .await
-            }
-        });
+        let (sim, cloud, golden) = world().nodes(4).faults(flaky_everything(0xDE7E12)).build();
+        let report = provision_fleet(&sim, &cloud, golden, 4);
         let mut names: Vec<String> = report
             .succeeded
             .iter()
@@ -148,7 +103,7 @@ fn empty_fault_plan_is_entirely_free() {
     // extra sleeps — provisioning timings are byte-identical to the
     // default (no-plan) configuration.
     let run = |faults: FaultPlan| {
-        let (sim, cloud, golden) = build(2, faults);
+        let (sim, cloud, golden) = world().nodes(2).faults(faults).build();
         let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
         let nodes = cloud.nodes();
         let p = sim

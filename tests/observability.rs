@@ -3,47 +3,22 @@
 //! ledger of retries and injected faults, and (3) silent when the
 //! fault plan is empty — zero retry/fault counters, full op counters.
 
-use bolted::core::{
-    provision_fleet_parallel, Cloud, CloudConfig, FleetSpec, ProvisionError, SecurityProfile,
-    Tenant,
-};
-use bolted::firmware::KernelImage;
+mod common;
+
+use bolted::core::{provision_fleet_parallel, Cloud, FleetSpec, ProvisionError};
 use bolted::sim::fault::{ops, FaultPlan, FaultSpec};
 use bolted::sim::Sim;
 use bolted::storage::ImageId;
 
-fn build(nodes: usize, faults: FaultPlan) -> (Sim, Cloud, ImageId) {
-    let sim = Sim::new();
-    let cloud = Cloud::build(
-        &sim,
-        CloudConfig {
-            nodes,
-            faults,
-            ..CloudConfig::default()
-        },
-    );
-    let kernel = KernelImage::from_bytes("fedora28-4.17.9", b"vmlinuz+initrd");
-    let golden = cloud
-        .bmi
-        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
-        .expect("golden");
-    (sim, cloud, golden)
-}
+use common::world;
 
+/// Provisions the first `n` nodes and asserts every one came up.
 fn provision_fleet(sim: &Sim, cloud: &Cloud, golden: ImageId, n: usize) {
-    let tenant = Tenant::new(cloud, "charlie").expect("tenant");
-    let nodes: Vec<_> = cloud.nodes().into_iter().take(n).collect();
-    let results = sim.block_on({
-        let tenant = tenant.clone();
-        async move {
-            tenant
-                .provision_fleet(&nodes, &SecurityProfile::charlie(), golden)
-                .await
-        }
-    });
-    for r in results {
-        r.expect("provisions");
+    let report = common::provision_fleet(sim, cloud, golden, n);
+    if let Some(f) = report.failed.first() {
+        panic!("{}: {}", f.name, f.error);
     }
+    assert_eq!(report.succeeded.len(), n);
 }
 
 // -- golden trace ------------------------------------------------------------
@@ -55,7 +30,10 @@ fn same_seed_runs_produce_identical_spans_and_metrics() {
     // the contract that makes trace-driven tests trustworthy — any
     // nondeterminism in the instrumentation itself would show up here.
     let run = || {
-        let (sim, cloud, golden) = build(3, FaultPlan::seeded(0x0B5E_57A1));
+        let (sim, cloud, golden) = world()
+            .nodes(3)
+            .faults(FaultPlan::seeded(0x0B5E_57A1))
+            .build();
         provision_fleet(&sim, &cloud, golden, 3);
         (cloud.spans.render(), cloud.metrics.to_json())
     };
@@ -69,7 +47,7 @@ fn same_seed_runs_produce_identical_spans_and_metrics() {
 
 #[test]
 fn span_tree_nests_phases_under_the_provision_root() {
-    let (sim, cloud, golden) = build(1, FaultPlan::none());
+    let (sim, cloud, golden) = world().build();
     provision_fleet(&sim, &cloud, golden, 1);
     let root = cloud.spans.find("provision", "m620-01").expect("root span");
     assert_eq!(root.attr("outcome"), Some("ok"));
@@ -148,7 +126,7 @@ fn fault_plan_counts_land_exactly_per_op_and_target() {
         .with_target(ops::BMC_POWER, "m620-01", FaultSpec::flaky(2))
         .with_target(ops::REGISTRAR_REGISTER, "m620-02", FaultSpec::flaky(2))
         .with_target(ops::VERIFIER_QUOTE, "m620-02", FaultSpec::flaky(2));
-    let (sim, cloud, golden) = build(2, plan);
+    let (sim, cloud, golden) = world().nodes(2).faults(plan).build();
     provision_fleet(&sim, &cloud, golden, 2);
 
     let c = |name: &str, op: &str, target: &str| {
@@ -181,7 +159,7 @@ fn fault_plan_counts_land_exactly_per_op_and_target() {
 
 #[test]
 fn empty_fault_plan_means_zero_retry_and_fault_counters() {
-    let (sim, cloud, golden) = build(2, FaultPlan::none());
+    let (sim, cloud, golden) = world().nodes(2).build();
     provision_fleet(&sim, &cloud, golden, 2);
     assert_eq!(cloud.metrics.counter_total("retry_attempts"), 0);
     assert_eq!(cloud.metrics.counter_total("faults_injected"), 0);
@@ -206,20 +184,15 @@ fn abandoned_node_is_an_exhausted_outcome_in_the_registry() {
     // reports it, and the registry shows one exhausted outcome next to
     // the successes.
     let plan = FaultPlan::seeded(7).with_target(ops::BMC_POWER, "m620-02", FaultSpec::permanent());
-    let (sim, cloud, golden) = build(2, plan);
-    let tenant = Tenant::new(&cloud, "charlie").expect("tenant");
-    let nodes = cloud.nodes();
-    let results = sim.block_on({
-        let tenant = tenant.clone();
-        let nodes = nodes.clone();
-        async move {
-            tenant
-                .provision_fleet(&nodes, &SecurityProfile::charlie(), golden)
-                .await
-        }
-    });
-    assert!(results[0].is_ok());
-    assert!(matches!(results[1], Err(ProvisionError::Exhausted { .. })));
+    let (sim, cloud, golden) = world().nodes(2).faults(plan).build();
+    let report = common::provision_fleet(&sim, &cloud, golden, 2);
+    assert_eq!(report.succeeded.len(), 1);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].name, "m620-02");
+    assert!(matches!(
+        report.failed[0].error,
+        ProvisionError::Exhausted { .. }
+    ));
     let outcome = |o: &str| {
         cloud.metrics.counter(
             "provision_outcomes",

@@ -1,0 +1,57 @@
+//! Adversarial multi-tenant scenarios: hostile coexistence with
+//! executable isolation bounds.
+//!
+//! Runs the five paper scenarios at smoke scale and asserts (1) every
+//! isolation invariant and degradation bound holds, and (2) the whole
+//! run — every measurement, span tree, metrics snapshot and check
+//! verdict — is byte-identical at pool worker counts 1, 2 and 4 under a
+//! fixed seed. The full-scale artifact lives in `results/scenarios.json`
+//! (the `scenarios` bench bin).
+
+use bolted::core::{paper_scenarios, runbook_replay, ScenarioScale};
+use bolted::sim::run_scenarios;
+
+#[test]
+fn every_scenario_holds_its_isolation_invariants_and_bounds() {
+    let report = run_scenarios(paper_scenarios(ScenarioScale::Smoke), 2);
+    for outcome in &report.outcomes {
+        for check in &outcome.checks {
+            assert!(
+                check.passed,
+                "{}: {} check failed: {}",
+                outcome.name, check.kind, check.detail
+            );
+        }
+    }
+    assert!(report.passed());
+    assert_eq!(report.outcomes.len(), 5, "five paper scenarios");
+}
+
+#[test]
+fn scenario_runs_are_byte_identical_across_worker_counts() {
+    // The same determinism contract as fleet shards: each scenario's two
+    // worlds are built and driven entirely inside one pool job, so the
+    // pool's worker count decides wall-clock time and nothing else.
+    let fingerprints: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| run_scenarios(paper_scenarios(ScenarioScale::Smoke), w).fingerprint())
+        .collect();
+    assert!(!fingerprints[0].is_empty());
+    assert_eq!(fingerprints[0], fingerprints[1], "1 vs 2 workers diverged");
+    assert_eq!(fingerprints[0], fingerprints[2], "1 vs 4 workers diverged");
+}
+
+#[test]
+fn scenario_outcomes_carry_degradation_ratios_and_observability() {
+    let outcome = runbook_replay(ScenarioScale::Smoke).run();
+    assert!(outcome.passed(), "{:?}", outcome.checks);
+    // The quantitative half of the harness: recovery time is measured
+    // against the baseline, not just asserted abstractly.
+    let recovery = outcome.ratio("recovery_seconds").expect("ratio");
+    assert!(recovery > 0.0 && recovery.is_finite());
+    // Both worlds shipped their full observability output, so a failing
+    // scenario can be diagnosed from the outcome alone.
+    assert!(outcome.hostile.spans.contains("provision"));
+    assert!(outcome.hostile.metrics.contains("provision_outcomes"));
+    assert!(outcome.baseline.get("world_error") == Some(0.0));
+}

@@ -2,6 +2,8 @@
 //! four object-safe traits, so backends can be wrapped (fault shims) or
 //! replaced wholesale (mocks) without touching orchestration code.
 
+mod common;
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -9,10 +11,11 @@ use bolted_sim::lock;
 
 use bolted::bmi::{Bmi, BmiError};
 use bolted::core::{
-    linuxboot_source, AttestationService, BootService, BoxFuture, Calibration, Cloud, CloudConfig,
+    linuxboot_source, AttestationService, BootService, BoxFuture, Calibration, Cloud,
     IsolationService, NodeState, ProvisionError, ProvisioningService, SecurityProfile, Services,
     Tenant, TenantEnv,
 };
+
 use bolted::crypto::prime::RandomSource;
 use bolted::crypto::rsa::PublicKey;
 use bolted::crypto::sha256::Digest;
@@ -24,6 +27,7 @@ use bolted::net::NetError;
 use bolted::sim::{CallEnv, Resource, Sim, Tracer};
 use bolted::storage::Gateway;
 use bolted::storage::{Cluster, ImageId, ImageStore, IscsiTarget, Transport};
+use common::world;
 
 // ---------------------------------------------------------------------------
 // A wrapper backend: real cloud underneath, but the enclave/airlock
@@ -71,19 +75,7 @@ impl IsolationService for FlakyIsolation {
 /// compromise.
 #[test]
 fn exhausted_attach_through_trait_object_abandons_to_free_pool() {
-    let sim = Sim::new();
-    let cloud = Cloud::build(
-        &sim,
-        CloudConfig {
-            nodes: 1,
-            ..CloudConfig::default()
-        },
-    );
-    let kernel = KernelImage::from_bytes("fedora28", b"vmlinuz");
-    let golden = cloud
-        .bmi
-        .create_golden("fedora28", 8 << 30, 7, &kernel, "")
-        .expect("golden");
+    let (sim, cloud, golden) = world().build();
     let env = TenantEnv::of_cloud(&cloud);
     let attestation = Arc::new(bolted::core::KeylimeAttestation::new(
         &cloud,
