@@ -22,6 +22,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use bolted_bench::determinism::{
+    require_byte_identical, smoke_flag, write_artifact, DeterminismSweep,
+};
 use bolted_core::{provision_fleet_parallel, FleetSpec};
 
 struct Run {
@@ -31,7 +34,7 @@ struct Run {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_flag();
     // Shard count and seed are part of the spec — host-independent — so
     // the digest is comparable across machines as well as pool sizes.
     let spec = if smoke {
@@ -50,8 +53,7 @@ fn main() {
     }
 
     let mut runs: Vec<Run> = Vec::new();
-    let mut digest: Option<String> = None;
-    let mut byte_identical = true;
+    let mut sweep = DeterminismSweep::new();
     for &workers in &worker_counts {
         let t0 = Instant::now();
         let report = match provision_fleet_parallel(&spec, workers) {
@@ -78,11 +80,7 @@ fn main() {
             );
             std::process::exit(1);
         }
-        match &digest {
-            None => digest = Some(d),
-            Some(first) if *first != d => byte_identical = false,
-            Some(_) => {}
-        }
+        sweep.observe(&d);
         runs.push(Run {
             workers,
             wall_seconds: wall,
@@ -106,12 +104,8 @@ fn main() {
     // Scaling is bounded by the cores that exist: pool sizes beyond
     // `cores` timeshare and can only show digest stability, not speedup.
     let _ = writeln!(json, "  \"cores\": {max},");
-    let _ = writeln!(
-        json,
-        "  \"digest\": \"{}\",",
-        digest.as_deref().unwrap_or("")
-    );
-    let _ = writeln!(json, "  \"byte_identical\": {byte_identical},");
+    let _ = writeln!(json, "  \"digest\": \"{}\",", sweep.fingerprint());
+    let _ = writeln!(json, "  \"byte_identical\": {},", sweep.byte_identical());
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -127,16 +121,6 @@ fn main() {
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
     print!("{json}");
-    // Smoke mode is a pass/fail gate: it must never overwrite the
-    // committed full-fleet artifact with a toy-sized snapshot.
-    if !smoke {
-        if let Err(e) = std::fs::write("BENCH_fleet.json", &json) {
-            eprintln!("could not write BENCH_fleet.json: {e}");
-            std::process::exit(1);
-        }
-    }
-    if !byte_identical {
-        eprintln!("FAIL: run digest changed with worker count — determinism broken");
-        std::process::exit(1);
-    }
+    write_artifact(smoke, "BENCH_fleet.json", &json);
+    require_byte_identical(&sweep, "run digest");
 }

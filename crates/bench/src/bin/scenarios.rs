@@ -1,6 +1,6 @@
 //! Adversarial-scenario artifact: the hostile-coexistence exit gate.
 //!
-//! Runs the five paper scenarios ([`bolted_core::paper_scenarios`]) at
+//! Runs the six paper scenarios ([`bolted_core::paper_scenarios`]) at
 //! pool worker counts 1, 2 and 4, checks that every isolation invariant
 //! and degradation bound holds, and that the run fingerprint — every
 //! measurement, span tree, metrics snapshot and check verdict — is
@@ -16,21 +16,23 @@
 //! smoke-scale worlds as a pass/fail verify gate and never writes the
 //! file — a gate must not clobber the committed full-scale artifact.
 
+use bolted_bench::determinism::{
+    require_byte_identical, smoke_flag, write_artifact, DeterminismSweep,
+};
 use bolted_core::{paper_scenarios, ScenarioScale};
 use bolted_crypto::sha256::sha256;
 use bolted_sim::run_scenarios;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = smoke_flag();
     let scale = if smoke {
         ScenarioScale::Smoke
     } else {
         ScenarioScale::Full
     };
 
-    let mut fingerprint: Option<String> = None;
+    let mut sweep = DeterminismSweep::new();
     let mut report = None;
-    let mut byte_identical = true;
     for &workers in &[1usize, 2, 4] {
         let run = run_scenarios(paper_scenarios(scale), workers);
         let fp = run.fingerprint();
@@ -40,11 +42,7 @@ fn main() {
             run.passed(),
             &sha256(fp.as_bytes()).to_hex()[..12],
         );
-        match &fingerprint {
-            None => fingerprint = Some(fp),
-            Some(first) if *first != fp => byte_identical = false,
-            Some(_) => {}
-        }
+        sweep.observe(&fp);
         report = Some(run);
     }
     let Some(report) = report else {
@@ -60,10 +58,8 @@ fn main() {
         }
     }
 
-    let digest = fingerprint
-        .as_deref()
-        .map(|fp| sha256(fp.as_bytes()).to_hex())
-        .unwrap_or_default();
+    let digest = sha256(sweep.fingerprint().as_bytes()).to_hex();
+    let byte_identical = sweep.byte_identical();
     let json = {
         let body = report.to_json();
         // Wrap the harness JSON with the run-level identity fields the
@@ -81,18 +77,8 @@ fn main() {
     };
     print!("{json}");
 
-    // Smoke mode is a pass/fail gate: never overwrite the committed
-    // full-scale artifact with toy-sized worlds.
-    if !smoke {
-        if let Err(e) = std::fs::write("results/scenarios.json", &json) {
-            eprintln!("could not write results/scenarios.json: {e}");
-            std::process::exit(1);
-        }
-    }
-    if !byte_identical {
-        eprintln!("FAIL: scenario fingerprint changed with worker count — determinism broken");
-        std::process::exit(1);
-    }
+    write_artifact(smoke, "results/scenarios.json", &json);
+    require_byte_identical(&sweep, "scenario fingerprint");
     if !report.passed() {
         eprintln!("FAIL: scenarios violated bounds: {:?}", report.failures());
         std::process::exit(1);

@@ -1,0 +1,99 @@
+//! Shared harness plumbing for the determinism bench bins.
+//!
+//! Every worker-sweep bin (`fleet`, `scenarios`, `reconcile`) follows
+//! the same protocol: parse `--smoke`, run the same spec at several pool
+//! worker counts, compare a run fingerprint across the sweep, write the
+//! committed artifact only on a full run, and exit nonzero on
+//! divergence. This module is that protocol, written once — the bins
+//! keep only their spec, their measurements and their JSON shape.
+
+use std::process::exit;
+
+/// True when the process was invoked with `--smoke`: run the toy-sized
+/// gate variant and never touch the committed artifact.
+pub fn smoke_flag() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Accumulates one fingerprint per worker-count run and tracks whether
+/// they all agreed.
+#[derive(Debug, Default)]
+pub struct DeterminismSweep {
+    fingerprint: Option<String>,
+    byte_identical: bool,
+}
+
+impl DeterminismSweep {
+    /// An empty sweep (vacuously byte-identical).
+    pub fn new() -> DeterminismSweep {
+        DeterminismSweep {
+            fingerprint: None,
+            byte_identical: true,
+        }
+    }
+
+    /// Records one run's fingerprint; returns whether it matched the
+    /// first run's (the first observation always matches).
+    pub fn observe(&mut self, fingerprint: &str) -> bool {
+        match &self.fingerprint {
+            None => {
+                self.fingerprint = Some(fingerprint.to_string());
+                true
+            }
+            Some(first) if first == fingerprint => true,
+            Some(_) => {
+                self.byte_identical = false;
+                false
+            }
+        }
+    }
+
+    /// Whether every observed fingerprint agreed with the first.
+    pub fn byte_identical(&self) -> bool {
+        self.byte_identical
+    }
+
+    /// The first run's fingerprint, empty before any observation.
+    pub fn fingerprint(&self) -> &str {
+        self.fingerprint.as_deref().unwrap_or("")
+    }
+}
+
+/// Writes the committed artifact on a full run; smoke mode is a
+/// pass/fail gate and must never clobber the committed file with a
+/// toy-sized snapshot. Exits nonzero when the write fails.
+pub fn write_artifact(smoke: bool, path: &str, json: &str) {
+    if smoke {
+        return;
+    }
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {path}: {e}");
+        exit(1);
+    }
+}
+
+/// Exits nonzero when the sweep diverged. `what` names the fingerprint
+/// in the failure message (e.g. "run digest").
+pub fn require_byte_identical(sweep: &DeterminismSweep, what: &str) {
+    if !sweep.byte_identical() {
+        eprintln!("FAIL: {what} changed with worker count — determinism broken");
+        exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_tracks_divergence() {
+        let mut s = DeterminismSweep::new();
+        assert!(s.byte_identical());
+        assert!(s.observe("abc"));
+        assert!(s.observe("abc"));
+        assert!(s.byte_identical());
+        assert!(!s.observe("xyz"));
+        assert!(!s.byte_identical());
+        assert_eq!(s.fingerprint(), "abc");
+    }
+}

@@ -5,6 +5,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod determinism;
 pub mod hotpath;
 pub mod phases;
 

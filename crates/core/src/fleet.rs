@@ -135,6 +135,22 @@ impl FleetRunReport {
     }
 }
 
+/// Runs `job(shard)` for every shard index across `workers` OS threads
+/// and returns the results in shard index order — the shard-per-job
+/// determinism contract, factored out so every sharded driver (fleet
+/// provisioning, the reconciler, future sweeps) shares one
+/// implementation. The job runs entirely on its pool thread; nothing it
+/// builds escapes its shard.
+pub fn run_sharded<T, F>(shards: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let job = &job;
+    let jobs: Vec<_> = (0..shards).map(|shard| move || job(shard)).collect();
+    bolted_sim::run_jobs(workers, jobs)
+}
+
 /// Builds and provisions one shard, start to finish, on the calling
 /// thread. The shard's [`Sim`] never escapes this function, so it has
 /// exactly one driver for its whole life.
@@ -183,13 +199,7 @@ pub fn provision_fleet_parallel(
     spec: &FleetSpec,
     workers: usize,
 ) -> Result<FleetRunReport, ProvisionError> {
-    let jobs: Vec<_> = (0..spec.shards)
-        .map(|shard| {
-            let spec = spec.clone();
-            move || run_shard(&spec, shard)
-        })
-        .collect();
-    let shards = bolted_sim::run_jobs(workers, jobs)
+    let shards = run_sharded(spec.shards, workers, |shard| run_shard(spec, shard))
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
     Ok(FleetRunReport { shards })

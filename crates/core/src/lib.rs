@@ -20,6 +20,7 @@ pub mod foreman;
 pub mod lifecycle;
 pub mod profile;
 pub mod provision;
+pub mod reconcile;
 pub mod scenario;
 pub mod services;
 
@@ -28,16 +29,21 @@ pub use cloud::{
     heads_runtime_digest, ipxe_digest, linuxboot_source, uefi_source, Cloud, CloudConfig,
 };
 pub use enclave::{revocation_experiment, Enclave, RevocationReport};
-pub use fleet::{provision_fleet_parallel, FleetRunReport, FleetSpec, ShardOutcome};
+pub use fleet::{provision_fleet_parallel, run_sharded, FleetRunReport, FleetSpec, ShardOutcome};
 pub use foreman::{foreman_provision, foreman_release_with_scrub};
 pub use lifecycle::{InvalidTransition, Lifecycle, NodeState};
 pub use profile::{AttestationMode, SecurityProfile};
 pub use provision::{
     FleetFailure, FleetReport, ProvisionError, ProvisionReport, ProvisionedNode, Tenant,
 };
+pub use reconcile::{
+    diff, reconcile_fleet_parallel, DesiredState, ObservedState, OpBudget, ReconcileFleetSpec,
+    ReconcileOp, ReconcileRunReport, ReconcilerConfig, ShardReconcileOutcome, TenantReconciler,
+    TickReport,
+};
 pub use scenario::{
-    airlock_starvation, noisy_neighbor_storage, paper_scenarios, quote_storm, runbook_replay,
-    vlan_exhaustion, ScenarioScale,
+    airlock_starvation, noisy_neighbor_storage, paper_scenarios, quote_storm, reconciler_recovery,
+    runbook_replay, vlan_exhaustion, ScenarioScale,
 };
 pub use services::{
     AttestationService, BootService, BoxFuture, IsolationService, KeylimeAttestation,

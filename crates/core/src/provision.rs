@@ -29,7 +29,7 @@ use bolted_keylime::{
 };
 use bolted_net::NetError;
 use bolted_sim::fault::mix_seed;
-use bolted_sim::{join_all, RetryError, RetryPolicy, Rng, SimDuration, SimTime};
+use bolted_sim::{join_all, Metrics, RetryError, RetryPolicy, Rng, SimDuration, SimTime};
 use bolted_storage::{ImageError, ImageId, IscsiTarget, SectorStream};
 
 use crate::cloud::{heads_runtime_digest, ipxe_digest, Cloud};
@@ -492,6 +492,28 @@ impl Tenant {
         *lock(&self.ima_whitelist) = wl;
     }
 
+    /// Nodes the isolation service currently has free (unowned and not
+    /// quarantined), in ascending id order — the pool a reconciler
+    /// claims convergence work from.
+    pub fn free_nodes(&self) -> Vec<NodeId> {
+        self.services.isolation.free_nodes()
+    }
+
+    /// Creates an additional tenant data network (beyond the enclave +
+    /// airlock pair every tenant starts with), drawing a VLAN from the
+    /// shared pool under this project's quota.
+    pub fn create_data_network(&self, name: &str) -> Result<NetworkId, ProvisionError> {
+        self.services
+            .isolation
+            .create_network(&self.project, name.to_string())
+            .map_err(ProvisionError::Hil)
+    }
+
+    /// The tenant's metrics handle (shared with its call envelope).
+    pub(crate) fn metrics(&self) -> Metrics {
+        self.env.call.metrics()
+    }
+
     /// The measurements this tenant accepts during boot attestation: its
     /// own reproducible LinuxBoot build, the provider-published platform
     /// (UEFI) whitelist from HIL, the measuring iPXE, the Heads runtime,
@@ -538,7 +560,14 @@ impl Tenant {
     /// to the free pool — not quarantine — and the cloned volume is
     /// deleted. Every step is advisory: whatever state was never reached
     /// is skipped.
-    fn abandon(&self, node: NodeId, name: &str, lc: &mut Lifecycle, image: Option<ImageId>) {
+    fn abandon(
+        &self,
+        node: NodeId,
+        name: &str,
+        lc: &mut Lifecycle,
+        image: Option<ImageId>,
+        cause: &str,
+    ) {
         let sim = self.env.sim();
         self.services.attestation.stop(name);
         let _ = lc.transition(sim, NodeState::Free);
@@ -547,6 +576,13 @@ impl Tenant {
         if let Some(image) = image {
             let _ = self.services.provisioning.release(image, false);
         }
+        // The span event is what makes the abandon *reconcilable*: a
+        // control loop (or a human reading the trace) sees which node
+        // went back to Free and why, not just the lifecycle edge.
+        let spans = self.env.call.spans();
+        let id = spans.event(sim, "tenant", "abandon", name);
+        spans.attr(id, "node", node.0.to_string());
+        spans.attr(id, "cause", cause);
         self.env.tracer.record(
             sim,
             "tenant",
@@ -620,7 +656,7 @@ impl Tenant {
     {
         match self.retry_infra(op_name, name, rng, op, transient).await {
             Err(e @ ProvisionError::Exhausted { .. }) => {
-                self.abandon(node, name, lc, image);
+                self.abandon(node, name, lc, image, &e.to_string());
                 Err(e)
             }
             other => other,
@@ -988,7 +1024,13 @@ impl Tenant {
                         // after its own retries. That is an infrastructure
                         // failure, not evidence of compromise: release the
                         // node instead of quarantining it.
-                        self.abandon(cx.node, &cx.name, &mut cx.lc, Some(image));
+                        self.abandon(
+                            cx.node,
+                            &cx.name,
+                            &mut cx.lc,
+                            Some(image),
+                            &format!("verifier unreachable after {attempts} attempts"),
+                        );
                         return Err(ProvisionError::Exhausted {
                             op: "verifier.attest".into(),
                             attempts,

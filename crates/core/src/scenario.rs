@@ -7,7 +7,7 @@
 //! exact invariants and its availability claims as numeric degradation
 //! and recovery bounds.
 //!
-//! The five shipped scenarios cover the attack surfaces a bare-metal
+//! The six shipped scenarios cover the attack surfaces a bare-metal
 //! co-tenant actually has in this architecture:
 //!
 //! 1. **noisy-neighbor-storage** — spindle saturation of the shared
@@ -21,6 +21,9 @@
 //! 5. **runbook-replay** — a control-plane worker dying mid-reconcile
 //!    (permanent BMC fault → abandon-to-Free) and the operator runbook
 //!    that re-provisions the node, with recovery-time bounds.
+//! 6. **reconciler-recovery** — the same worker death, recovered by the
+//!    declarative reconciler ([`crate::reconcile`]) re-claiming the
+//!    abandoned node with no operator runbook at all.
 //!
 //! Every world is built from scratch inside its world function (its
 //! [`Sim`] never escapes), so scenario lists are byte-identical across
@@ -40,6 +43,7 @@ use bolted_storage::{ImageId, ObjectKey};
 use crate::cloud::{Cloud, CloudConfig};
 use crate::profile::SecurityProfile;
 use crate::provision::{FleetReport, ProvisionError, Tenant};
+use crate::reconcile::{DesiredState, OpBudget, ReconcilerConfig, TenantReconciler};
 use crate::services::{KeylimeAttestation, Services, TenantEnv};
 
 /// How big the scenario worlds are. `Smoke` keeps the suite fast enough
@@ -743,6 +747,115 @@ pub fn runbook_replay(scale: ScenarioScale) -> Scenario {
     .ratio_at_least("recovery_seconds", 0.5)
 }
 
+// ---------------------------------------------------------------------------
+// 6. Reconciler recovery: the same worker death, recovered by the
+//    declarative control loop instead of the operator runbook.
+// ---------------------------------------------------------------------------
+
+/// One world of the reconciler-recovery scenario. Same failure as the
+/// runbook replay — a permanent BMC fault kills one node's worker — but
+/// nobody replays a runbook: the tenant's declaration never changes,
+/// and once the hardware is replaced (fault plan cleared) the next
+/// reconcile tick sees desired ≠ observed and re-claims the abandoned
+/// node from the free pool on its own.
+fn reconciler_world(seed: u64, nodes_n: usize, kill_worker: bool) -> WorldReport {
+    run_world(|| {
+        let faults = if kill_worker {
+            FaultPlan::seeded(seed).with_target(ops::BMC_POWER, DEAD_NODE, FaultSpec::permanent())
+        } else {
+            FaultPlan::none()
+        };
+        let w = world(nodes_n, seed, faults)?;
+        let tenant = Tenant::new(&w.cloud, "charlie")?;
+        let mut report = WorldReport::new();
+        let desired = DesiredState::new(SecurityProfile::charlie(), nodes_n);
+        let config = ReconcilerConfig {
+            churn_burst: nodes_n.max(8),
+            ..ReconcilerConfig::default()
+        };
+        let mut rec = TenantReconciler::new(tenant, w.golden, desired, &config);
+        let (first, ticks, recovery_s) = w.sim.block_on({
+            let sim = w.sim.clone();
+            let cloud = w.cloud.clone();
+            async move {
+                let mut budget = OpBudget::new(nodes_n * 4);
+                let first = rec.tick(&mut budget).await;
+                let failed_at = sim.now();
+                let mut ticks = 1usize;
+                if !first.converged {
+                    // Hardware replaced; the declaration is untouched —
+                    // recovery is the reconciler's normal tick, not a
+                    // dedicated path.
+                    cloud.faults.install(FaultPlan::none());
+                    while !rec.is_converged() && ticks < 8 {
+                        let mut budget = OpBudget::new(nodes_n * 4);
+                        rec.tick(&mut budget).await;
+                        ticks += 1;
+                    }
+                }
+                (first, ticks, sim.now().since(failed_at).as_secs_f64())
+            }
+        });
+        report.set("first_ok", first.provisioned as f64);
+        report.set("first_failed", first.provision_failed as f64);
+        report.set("ticks_to_converge", ticks as f64);
+        if kill_worker {
+            report.set("recovery_seconds", recovery_s);
+        } else {
+            // The baseline's denominator for the recovery-ratio bound:
+            // nodes provision concurrently, so the clean run's whole
+            // convergence costs about one node provision.
+            report.set("recovery_seconds", w.sim.now().as_secs_f64());
+        }
+        report.set("free_nodes_after", w.cloud.hil.free_nodes().len() as f64);
+        report.set("rejected_nodes", w.cloud.rejected_pool().len() as f64);
+        report.set(
+            "total_key_releases",
+            w.cloud.metrics.counter_total("key_releases") as f64,
+        );
+        report.spans = w.cloud.spans.render();
+        report.metrics = w.cloud.metrics.to_json();
+        Ok(report)
+    })
+}
+
+/// Reconciler recovery: the runbook-replay failure, converged by the
+/// declarative reconciler with no operator intervention beyond the
+/// hardware swap.
+pub fn reconciler_recovery(scale: ScenarioScale) -> Scenario {
+    let nodes_n = match scale {
+        ScenarioScale::Smoke => 4usize,
+        ScenarioScale::Full => 4,
+    };
+    let baseline: WorldFn = Arc::new(move |seed| reconciler_world(seed, nodes_n, false));
+    let hostile: WorldFn = Arc::new(move |seed| reconciler_world(seed, nodes_n, true));
+    Scenario::new(
+        "reconciler-recovery",
+        "worker death mid-reconcile; the desired-state reconciler re-claims the abandoned node itself",
+        0xAD5E_0006,
+        baseline,
+        hostile,
+    )
+    .isolation_equals("world_error", 0.0)
+    // Exactly one node lost to the dead worker on the first tick.
+    .isolation_equals("first_ok", (nodes_n - 1) as f64)
+    .isolation_equals("first_failed", 1.0)
+    // One more tick after the hardware swap converges the declaration.
+    .isolation_equals("ticks_to_converge", 2.0)
+    // Infrastructure death is not compromise: nothing quarantined, and
+    // after convergence the whole pool is allocated again.
+    .isolation_equals("rejected_nodes", 0.0)
+    .isolation_equals("free_nodes_after", 0.0)
+    // Convergence released exactly one key per node overall — the
+    // abandoned node's failed first pass released none.
+    .isolation_equals("total_key_releases", nodes_n as f64)
+    // Reconciler recovery costs about one clean provision, like the
+    // hand-driven runbook it replaces.
+    .at_most("recovery_seconds", 200.0)
+    .ratio_at_most("recovery_seconds", 2.0)
+    .ratio_at_least("recovery_seconds", 0.2)
+}
+
 /// The full shipped scenario list, in artifact order.
 pub fn paper_scenarios(scale: ScenarioScale) -> Vec<Scenario> {
     vec![
@@ -751,5 +864,6 @@ pub fn paper_scenarios(scale: ScenarioScale) -> Vec<Scenario> {
         vlan_exhaustion(scale),
         quote_storm(scale),
         runbook_replay(scale),
+        reconciler_recovery(scale),
     ]
 }

@@ -77,6 +77,11 @@ pub trait IsolationService: Send + Sync {
     /// Moves a node that failed attestation into the rejected pool so
     /// the scheduler never hands it out again.
     fn quarantine(&self, node: NodeId);
+    /// Nodes currently unowned and not quarantined, in ascending id
+    /// order — the pool a reconciler claims convergence work from.
+    // lint: allow(L3: scheduler-state getter — reads the free pool the
+    // allocate/free ops above already gate; no new round-trip)
+    fn free_nodes(&self) -> Vec<NodeId>;
 }
 
 /// The attestation service (the paper's Keylime registrar + cloud
@@ -215,6 +220,16 @@ impl IsolationService for Cloud {
     }
     fn quarantine(&self, node: NodeId) {
         Cloud::quarantine(self, node);
+    }
+    fn free_nodes(&self) -> Vec<NodeId> {
+        // HIL's free pool minus the rejected pool: quarantined nodes
+        // stay un-schedulable even though HIL no longer owns them.
+        let rejected = self.rejected_pool();
+        self.hil
+            .free_nodes()
+            .into_iter()
+            .filter(|n| !rejected.contains(n))
+            .collect()
     }
 }
 

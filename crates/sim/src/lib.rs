@@ -19,6 +19,7 @@ mod executor;
 pub mod fault;
 pub mod metrics;
 pub mod pool;
+pub mod queue;
 mod retry;
 mod rng;
 pub mod scenario;
@@ -33,6 +34,7 @@ pub use executor::{join_all, lock, JoinHandle, Sim, Sleep};
 pub use fault::{FaultDecision, FaultInjected, FaultPlan, FaultSpec, Faults};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use pool::{max_workers, run_jobs};
+pub use queue::{BoundedQueue, QueueStats, TokenBucket};
 pub use retry::{retry, retry_if, retry_if_observed, with_timeout, RetryError, RetryPolicy};
 pub use rng::{Rng, SplitMix64};
 pub use scenario::{

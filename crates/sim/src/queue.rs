@@ -1,0 +1,299 @@
+//! Bounded work queues and rate limiters for control-plane loops.
+//!
+//! The reconciler-class workloads (`bolted-core::reconcile`) push plans
+//! of lifecycle operations through these primitives instead of executing
+//! them unboundedly: a [`BoundedQueue`] caps the work admitted in one
+//! tick (overflow is **deferred**, never lost — the next diff of desired
+//! vs. observed state regenerates it), and a [`TokenBucket`] meters how
+//! fast lifecycle churn may drain in virtual time. Both are deterministic:
+//! admission and refill depend only on call order and the [`SimTime`]s
+//! handed in, never on wall clocks or thread scheduling.
+//!
+//! Accounting is first-class: every admit/defer/drop bumps a labelled
+//! counter in the wired [`Metrics`] (`queue_admitted`, `queue_deferred`,
+//! `queue_dropped`, all labelled `queue=<name>`), so backpressure is
+//! visible in the same snapshot as the rest of the run.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::executor::lock;
+use crate::metrics::Metrics;
+use crate::time::SimTime;
+
+/// Lifetime counters of one [`BoundedQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Items accepted into the queue.
+    pub admitted: u64,
+    /// Items refused (or evicted unexecuted) because the queue was full
+    /// — deferred work the producer is expected to regenerate.
+    pub deferred: u64,
+    /// Items irrecoverably discarded via [`BoundedQueue::offer_or_drop`].
+    pub dropped: u64,
+    /// Largest queue depth ever observed.
+    pub high_water: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    stats: QueueStats,
+}
+
+/// A bounded multi-producer work queue with defer/drop accounting.
+///
+/// `offer` refuses items beyond the capacity and hands them back —
+/// **deferral**: the caller keeps its desired state and re-plans later.
+/// `offer_or_drop` discards overflow instead — only correct for work
+/// that is safe to lose (samples, hints). Both outcomes are counted in
+/// [`QueueStats`] and in the wired [`Metrics`], so a backpressured
+/// control loop is observable rather than silently slow.
+pub struct BoundedQueue<T> {
+    inner: Arc<Mutex<Inner<T>>>,
+    capacity: usize,
+    name: Arc<str>,
+    metrics: Metrics,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            inner: self.inner.clone(),
+            capacity: self.capacity,
+            name: self.name.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1), reporting
+    /// its accounting under `queue=<name>` in `metrics`.
+    pub fn new(name: &str, capacity: usize, metrics: &Metrics) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Arc::new(Mutex::new(Inner {
+                items: VecDeque::new(),
+                stats: QueueStats::default(),
+            })),
+            capacity: capacity.max(1),
+            name: Arc::from(name),
+            metrics: metrics.clone(),
+        }
+    }
+
+    /// Pushes without overflow accounting; the caller classifies a
+    /// refusal as deferred or dropped.
+    fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = lock(&self.inner);
+        if inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        inner.stats.admitted += 1;
+        let depth = inner.items.len();
+        inner.stats.high_water = inner.stats.high_water.max(depth);
+        drop(inner);
+        self.metrics.inc("queue_admitted", &[("queue", &self.name)]);
+        Ok(())
+    }
+
+    /// Offers an item. A full queue refuses it and hands it back
+    /// (counted as deferred); the producer still owns the work.
+    pub fn offer(&self, item: T) -> Result<(), T> {
+        self.try_push(item).inspect_err(|_| {
+            lock(&self.inner).stats.deferred += 1;
+            self.metrics.inc("queue_deferred", &[("queue", &self.name)]);
+        })
+    }
+
+    /// Offers an item, discarding it if the queue is full. Returns
+    /// whether the item was admitted. Dropped items are gone — use only
+    /// for work that is safe to lose.
+    pub fn offer_or_drop(&self, item: T) -> bool {
+        match self.try_push(item) {
+            Ok(()) => true,
+            Err(_) => {
+                lock(&self.inner).stats.dropped += 1;
+                self.metrics.inc("queue_dropped", &[("queue", &self.name)]);
+                false
+            }
+        }
+    }
+
+    /// Pops the oldest queued item.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.inner).items.pop_front()
+    }
+
+    /// Empties the queue, counting every evicted item as deferred.
+    /// A control loop calls this at the end of a tick: whatever its
+    /// budget did not cover is surrendered back to the planner, which
+    /// will regenerate it from desired state next tick.
+    pub fn defer_rest(&self) -> usize {
+        let mut inner = lock(&self.inner);
+        let n = inner.items.len();
+        inner.items.clear();
+        inner.stats.deferred += n as u64;
+        drop(inner);
+        if n > 0 {
+            self.metrics
+                .add("queue_deferred", &[("queue", &self.name)], n as u64);
+        }
+        n
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the lifetime accounting.
+    pub fn stats(&self) -> QueueStats {
+        lock(&self.inner).stats
+    }
+}
+
+/// A deterministic virtual-time token bucket: `rate_per_sec` tokens
+/// accrue per simulated second up to `burst`. Starts full. All state
+/// advances from the [`SimTime`]s the caller hands in, so two runs that
+/// make the same calls at the same virtual instants behave identically.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last: Option<SimTime>,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate_per_sec` up to `burst` tokens.
+    pub fn new(rate_per_sec: f64, burst: usize) -> TokenBucket {
+        let burst = burst.max(1) as f64;
+        TokenBucket {
+            rate_per_sec: rate_per_sec.max(0.0),
+            burst,
+            tokens: burst,
+            last: None,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if let Some(last) = self.last {
+            if now > last {
+                let dt = now.since(last).as_secs_f64();
+                self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+            }
+        }
+        self.last = Some(self.last.map_or(now, |l| l.max(now)));
+    }
+
+    /// Whole tokens available at `now` (refills first).
+    pub fn available(&mut self, now: SimTime) -> usize {
+        self.refill(now);
+        self.tokens as usize
+    }
+
+    /// Takes up to `want` whole tokens, returning how many were granted.
+    pub fn take_up_to(&mut self, now: SimTime, want: usize) -> usize {
+        self.refill(now);
+        let granted = (self.tokens as usize).min(want);
+        self.tokens -= granted as f64;
+        granted
+    }
+
+    /// Takes one token if available.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.take_up_to(now, 1) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::default() + SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn overflow_defers_and_hands_the_item_back() {
+        let m = Metrics::new();
+        let q: BoundedQueue<u32> = BoundedQueue::new("work", 2, &m);
+        assert!(q.offer(1).is_ok());
+        assert!(q.offer(2).is_ok());
+        assert_eq!(q.offer(3), Err(3), "full queue must return the item");
+        let s = q.stats();
+        assert_eq!((s.admitted, s.deferred, s.dropped), (2, 1, 0));
+        assert_eq!(s.high_water, 2);
+        assert_eq!(m.counter("queue_admitted", &[("queue", "work")]), 2);
+        assert_eq!(m.counter("queue_deferred", &[("queue", "work")]), 1);
+    }
+
+    #[test]
+    fn offer_or_drop_counts_losses_separately() {
+        let m = Metrics::new();
+        let q: BoundedQueue<u32> = BoundedQueue::new("hints", 1, &m);
+        assert!(q.offer_or_drop(1));
+        assert!(!q.offer_or_drop(2));
+        let s = q.stats();
+        assert_eq!((s.admitted, s.deferred, s.dropped), (1, 0, 1));
+        assert_eq!(m.counter("queue_dropped", &[("queue", "hints")]), 1);
+    }
+
+    #[test]
+    fn defer_rest_surrenders_unexecuted_work() {
+        let m = Metrics::new();
+        let q: BoundedQueue<u32> = BoundedQueue::new("tick", 8, &m);
+        for i in 0..5 {
+            assert!(q.offer(i).is_ok());
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.defer_rest(), 4);
+        assert!(q.is_empty());
+        assert_eq!(q.stats().deferred, 4);
+        assert_eq!(m.counter("queue_deferred", &[("queue", "tick")]), 4);
+    }
+
+    #[test]
+    fn pop_is_fifo() {
+        let m = Metrics::new();
+        let q: BoundedQueue<&str> = BoundedQueue::new("fifo", 4, &m);
+        let _ = q.offer("a");
+        let _ = q.offer("b");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn token_bucket_starts_full_and_refills_with_virtual_time() {
+        let mut b = TokenBucket::new(2.0, 4);
+        assert_eq!(b.take_up_to(t(0.0), 10), 4, "starts at burst");
+        assert_eq!(b.available(t(0.0)), 0);
+        // 1.5 virtual seconds at 2 tokens/s = 3 tokens.
+        assert_eq!(b.take_up_to(t(1.5), 10), 3);
+        // Refill caps at burst no matter how long the idle gap.
+        assert_eq!(b.available(t(100.0)), 4);
+        assert!(b.try_take(t(100.0)));
+    }
+
+    #[test]
+    fn token_bucket_never_rewinds_on_stale_timestamps() {
+        let mut b = TokenBucket::new(1.0, 2);
+        assert_eq!(b.take_up_to(t(5.0), 2), 2);
+        // A timestamp earlier than the last refill must not mint tokens.
+        assert_eq!(b.available(t(1.0)), 0);
+        assert_eq!(b.available(t(6.0)), 1);
+    }
+}

@@ -80,6 +80,29 @@ fn permanently_dead_bmc_degrades_gracefully() {
 }
 
 #[test]
+fn abandoned_node_leaves_a_traceable_span_event() {
+    // An abandon must be reconstructible from the trace alone: which
+    // node went back to Free, and why. The reconciler converges from
+    // these events; a human reads the same record during an incident.
+    let plan = FaultPlan::seeded(7).with_target(ops::BMC_POWER, "m620-02", FaultSpec::permanent());
+    let (sim, cloud, golden) = world().nodes(4).faults(plan).build();
+    let nodes = cloud.nodes();
+    provision_fleet(&sim, &cloud, golden, 4);
+    let event = cloud
+        .spans
+        .find("abandon", "m620-02")
+        .expect("abandon event for the dead node");
+    assert_eq!(event.attr("node"), Some(nodes[1].0.to_string().as_str()));
+    let cause = event.attr("cause").expect("abandon cause attribute");
+    assert!(
+        cause.contains("hil.power_cycle"),
+        "cause must name the exhausted op, got: {cause}"
+    );
+    // Healthy nodes abandon nothing.
+    assert!(cloud.spans.find("abandon", "m620-01").is_none());
+}
+
+#[test]
 fn chaos_runs_are_deterministic_under_a_seed() {
     let run = || {
         let (sim, cloud, golden) = world().nodes(4).faults(flaky_everything(0xDE7E12)).build();

@@ -1,0 +1,271 @@
+//! Reconciler tests: diff-engine properties, convergent recovery, and
+//! determinism of the sharded churn driver.
+//!
+//! The property tests pin the three contracts ISSUE 10 names for the
+//! diff engine — plans are minimal, applying a plan twice is a no-op,
+//! and rate-limited churn is deferred rather than dropped — and the
+//! regression test pins the behaviour the reconciler was built for: a
+//! permanently-faulted node that the pipeline abandoned back to Free is
+//! re-claimed and converged once the fault clears, where the old
+//! one-shot fleet call stayed one node short forever.
+
+mod common;
+
+use bolted::core::reconcile::apply_to_model;
+use bolted::core::{
+    diff, reconcile_fleet_parallel, DesiredState, ObservedState, OpBudget, ReconcileFleetSpec,
+    ReconcileOp, ReconcilerConfig, SecurityProfile, Tenant, TenantReconciler,
+};
+use bolted::hil::NodeId;
+use bolted::sim::fault::{ops, FaultPlan, FaultSpec};
+use bolted::sim::Rng;
+
+use common::world;
+
+fn observed(held: &[usize], profile: &SecurityProfile, networks: usize) -> ObservedState {
+    ObservedState {
+        nodes: held
+            .iter()
+            .map(|&i| (NodeId(i), profile.name.clone()))
+            .collect(),
+        networks,
+    }
+}
+
+#[test]
+fn plans_are_minimal_across_the_state_grid() {
+    // Sweep held-count x desired-count x networks: the plan must contain
+    // exactly the deficit/surplus — never an op for a converged node —
+    // and a converged pair must plan nothing at all.
+    let charlie = SecurityProfile::charlie();
+    for held in 0..6usize {
+        for want in 0..6usize {
+            for nets in 0..3usize {
+                let obs = observed(&(0..held).collect::<Vec<_>>(), &charlie, 0);
+                let desired = DesiredState {
+                    profile: charlie.clone(),
+                    node_count: want,
+                    networks: nets,
+                };
+                let plan = diff(&desired, &obs);
+                let releases = plan
+                    .iter()
+                    .filter(|o| matches!(o, ReconcileOp::Release { .. }))
+                    .count();
+                let provisions = plan
+                    .iter()
+                    .filter(|o| matches!(o, ReconcileOp::Provision))
+                    .count();
+                let networks = plan
+                    .iter()
+                    .filter(|o| matches!(o, ReconcileOp::CreateNetwork))
+                    .count();
+                assert_eq!(releases, held.saturating_sub(want), "{held}->{want}");
+                assert_eq!(provisions, want.saturating_sub(held), "{held}->{want}");
+                assert_eq!(networks, nets);
+                if held == want && nets == 0 {
+                    assert!(plan.is_empty(), "converged state must plan nothing");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn applying_a_plan_twice_is_a_no_op() {
+    // Idempotence over a seeded sweep of random states, including
+    // profile flips and free pools too small to fully converge: the
+    // second application of the same plan must change nothing.
+    let profiles = [SecurityProfile::charlie(), SecurityProfile::bob()];
+    let mut rng = Rng::seed_from_u64(0x1D3A);
+    for case in 0..200 {
+        let have = &profiles[rng.gen_range(2) as usize];
+        let want = &profiles[rng.gen_range(2) as usize];
+        let held: Vec<usize> = (0..rng.gen_range(5) as usize).collect();
+        let obs = observed(&held, have, rng.gen_range(2) as usize);
+        let desired = DesiredState {
+            profile: want.clone(),
+            node_count: rng.gen_range(6) as usize,
+            networks: rng.gen_range(3) as usize,
+        };
+        let mut free: Vec<NodeId> = (10..10 + rng.gen_range(7) as usize).map(NodeId).collect();
+        let plan = diff(&desired, &obs);
+        let once = apply_to_model(&obs, &desired, &plan, &mut free);
+        let free_after_once = free.clone();
+        let twice = apply_to_model(&once, &desired, &plan, &mut free);
+        assert_eq!(once, twice, "case {case}: second application changed state");
+        assert_eq!(free, free_after_once, "case {case}: free pool moved");
+        // And when the pool sufficed, one application fully converges.
+        if once.nodes.len() == desired.node_count {
+            assert!(diff(&desired, &once).is_empty(), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn rate_limited_churn_is_deferred_never_dropped() {
+    // A queue bound of 2 and a 2-op burst against a 6-node declaration:
+    // convergence takes several ticks, the overflow is deferred, and the
+    // drop counter stays at zero — rate limiting slows churn down, it
+    // never loses desired state.
+    let (sim, cloud, golden) = world().nodes(6).build();
+    let tenant = Tenant::new(&cloud, "tenant-00").expect("tenant");
+    let config = ReconcilerConfig {
+        queue_capacity: 2,
+        churn_rate_per_sec: 1.0,
+        churn_burst: 2,
+    };
+    let desired = DesiredState::new(SecurityProfile::charlie(), 6);
+    let mut rec = TenantReconciler::new(tenant, golden, desired, &config);
+    let (ticks, stats, held) = sim.block_on(async move {
+        let mut ticks = 0usize;
+        while !rec.is_converged() && ticks < 16 {
+            let mut budget = OpBudget::new(64);
+            rec.tick(&mut budget).await;
+            ticks += 1;
+        }
+        (ticks, rec.queue_stats(), rec.holdings().len())
+    });
+    assert_eq!(held, 6, "declaration must fully converge");
+    assert!(
+        ticks >= 3,
+        "a 2-op burst cannot converge 6 nodes in {ticks} ticks"
+    );
+    assert_eq!(stats.dropped, 0, "rate limiting must never drop work");
+    assert!(stats.deferred > 0, "overflow must be accounted as deferred");
+}
+
+#[test]
+fn shard_budget_exhaustion_is_backpressure_not_loss() {
+    // Two tenants sharing a 3-op budget per tick: the second tenant is
+    // starved early, converges late, and nothing is dropped.
+    let (sim, cloud, golden) = world().nodes(8).build();
+    let config = ReconcilerConfig::default();
+    let mut recs: Vec<TenantReconciler> = (0..2)
+        .map(|t| {
+            let tenant = Tenant::new(&cloud, &format!("tenant-{t:02}")).expect("tenant");
+            TenantReconciler::new(
+                tenant,
+                golden,
+                DesiredState::new(SecurityProfile::charlie(), 4),
+                &config,
+            )
+        })
+        .collect();
+    let (ticks, dropped, held) = sim.block_on(async move {
+        let mut ticks = 0usize;
+        while recs.iter().any(|r| !r.is_converged()) && ticks < 16 {
+            let mut budget = OpBudget::new(3);
+            for rec in recs.iter_mut() {
+                rec.tick(&mut budget).await;
+            }
+            ticks += 1;
+        }
+        let dropped: u64 = recs.iter().map(|r| r.queue_stats().dropped).sum();
+        let held: Vec<usize> = recs.iter().map(|r| r.holdings().len()).collect();
+        (ticks, dropped, held)
+    });
+    assert_eq!(held, vec![4, 4], "both tenants must converge");
+    assert!(
+        ticks >= 3,
+        "a 3-op shard budget cannot converge 8 nodes in {ticks} ticks"
+    );
+    assert_eq!(dropped, 0, "budget exhaustion must defer, not drop");
+}
+
+#[test]
+fn permanently_faulted_node_is_reconverged_by_the_reconciler() {
+    // The regression ISSUE 10 pins. Old path: one fleet call abandons
+    // the dead-BMC node back to Free and the tenant stays at n-1
+    // forever. Reconciler path: the abandon is just a deficit at the
+    // next tick — once the operator clears the fault, the loop re-claims
+    // the node and converges with no dedicated recovery code.
+    let plan = FaultPlan::seeded(11).with_target(ops::BMC_POWER, "m620-03", FaultSpec::permanent());
+    let (sim, cloud, golden) = world().nodes(4).faults(plan).build();
+    let tenant = Tenant::new(&cloud, "tenant-00").expect("tenant");
+    let desired = DesiredState::new(SecurityProfile::charlie(), 4);
+    let mut rec = TenantReconciler::new(tenant, golden, desired, &ReconcilerConfig::default());
+    let faults = cloud.faults.clone();
+    let (first, second, names) = sim.block_on(async move {
+        let mut budget = OpBudget::new(64);
+        let first = rec.tick(&mut budget).await;
+        // The old abandon-only path ends here: 3 of 4 nodes, forever.
+        faults.install(FaultPlan::none());
+        let mut budget = OpBudget::new(64);
+        let second = rec.tick(&mut budget).await;
+        let mut names: Vec<String> = rec
+            .holdings()
+            .iter()
+            .map(|p| p.report.node.clone())
+            .collect();
+        names.sort();
+        (first, second, names)
+    });
+    assert_eq!(first.provisioned, 3);
+    assert_eq!(first.provision_failed, 1, "the dead node must be abandoned");
+    assert!(!first.converged);
+    assert_eq!(second.provisioned, 1, "the abandoned node is re-claimed");
+    assert_eq!(second.provision_failed, 0);
+    assert!(second.converged, "desired state must be reached");
+    assert_eq!(
+        names,
+        vec!["m620-01", "m620-02", "m620-03", "m620-04"],
+        "the previously dead node is part of the converged holdings"
+    );
+}
+
+#[test]
+fn profile_flip_releases_and_reprovisions_to_convergence() {
+    // Desired-state churn: flip a converged charlie tenant to bob. The
+    // next ticks release every wrongly-profiled node and re-provision
+    // under the new profile, ending converged.
+    let (sim, cloud, golden) = world().nodes(3).build();
+    let tenant = Tenant::new(&cloud, "tenant-00").expect("tenant");
+    let mut rec = TenantReconciler::new(
+        tenant,
+        golden,
+        DesiredState::new(SecurityProfile::charlie(), 3),
+        &ReconcilerConfig::default(),
+    );
+    let (released, profile_names, converged) = sim.block_on(async move {
+        let mut budget = OpBudget::new(64);
+        rec.tick(&mut budget).await;
+        rec.set_desired(DesiredState::new(SecurityProfile::bob(), 3));
+        let mut released = 0usize;
+        let mut ticks = 0usize;
+        while !rec.is_converged() && ticks < 8 {
+            let mut budget = OpBudget::new(64);
+            released += rec.tick(&mut budget).await.released;
+            ticks += 1;
+        }
+        let profiles: Vec<String> = rec
+            .holdings()
+            .iter()
+            .map(|p| p.report.profile.clone())
+            .collect();
+        (released, profiles, rec.is_converged())
+    });
+    assert_eq!(released, 3, "every charlie node must be released");
+    assert!(converged);
+    assert_eq!(profile_names, vec!["bob-attested"; 3]);
+}
+
+#[test]
+fn sharded_churn_run_is_converged_clean_and_worker_independent() {
+    // End-to-end smoke of the parallel driver: seeded churn plus
+    // injected flaky BMC faults, across 1 and 2 pool workers. The run
+    // must converge every epoch, hold every isolation invariant, have
+    // exercised the abandon->re-claim path, and produce byte-identical
+    // digests at both worker counts.
+    let spec = ReconcileFleetSpec::new(2, 12, 2, 2, 0xAD5E_0010);
+    let one = reconcile_fleet_parallel(&spec, 1).expect("1-worker run");
+    let two = reconcile_fleet_parallel(&spec, 2).expect("2-worker run");
+    assert!(one.converged(), "every shard must converge every epoch");
+    assert_eq!(one.violations(), Vec::<String>::new());
+    assert!(
+        one.total("provision_failed") > 0.0,
+        "the injected faults must exercise abandon-to-Free recovery"
+    );
+    assert!(one.total("provision_ok") > 0.0);
+    assert_eq!(one.digest(), two.digest(), "digest depends on worker count");
+}

@@ -1,7 +1,7 @@
 //! Adversarial multi-tenant scenarios: hostile coexistence with
 //! executable isolation bounds.
 //!
-//! Runs the five paper scenarios at smoke scale and asserts (1) every
+//! Runs the six paper scenarios at smoke scale and asserts (1) every
 //! isolation invariant and degradation bound holds, and (2) the whole
 //! run — every measurement, span tree, metrics snapshot and check
 //! verdict — is byte-identical at pool worker counts 1, 2 and 4 under a
@@ -24,7 +24,7 @@ fn every_scenario_holds_its_isolation_invariants_and_bounds() {
         }
     }
     assert!(report.passed());
-    assert_eq!(report.outcomes.len(), 5, "five paper scenarios");
+    assert_eq!(report.outcomes.len(), 6, "six paper scenarios");
 }
 
 #[test]

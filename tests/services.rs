@@ -52,6 +52,9 @@ impl IsolationService for FlakyIsolation {
     fn free_node(&self, project: &str, node: NodeId) -> Result<(), HilError> {
         self.0.hil.free_node(project, node)
     }
+    fn free_nodes(&self) -> Vec<NodeId> {
+        self.0.hil.free_nodes()
+    }
     fn connect_node(&self, _project: &str, _node: NodeId, _net: NetworkId) -> Result<(), HilError> {
         Err(HilError::Switch(NetError::SwitchUnreachable))
     }
@@ -147,6 +150,9 @@ impl IsolationService for NullIsolation {
     }
     fn allocate_node(&self, _project: &str, _node: NodeId) -> Result<(), HilError> {
         Ok(())
+    }
+    fn free_nodes(&self) -> Vec<NodeId> {
+        Vec::new()
     }
     fn free_node(&self, _project: &str, _node: NodeId) -> Result<(), HilError> {
         Ok(())
